@@ -1,0 +1,112 @@
+// Command sasgd-train trains one of the two paper workloads with any of
+// the implemented distributed algorithms and prints the accuracy curve,
+// the paper's Table-III hyperparameters exposed as flags.
+//
+//	go run ./cmd/sasgd-train -algo sasgd -workload cifar -p 8 -T 50
+//	go run ./cmd/sasgd-train -algo downpour -workload nlcf -p 16 -epochs 40
+//	go run ./cmd/sasgd-train -algo sasgd -p 8 -T 1 -sim   # simulated fabric timing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sasgd/internal/core"
+	"sasgd/internal/experiments"
+	"sasgd/internal/metrics"
+)
+
+func main() {
+	algo := flag.String("algo", "sasgd", "training algorithm: sgd, sasgd, downpour, eamsgd, hogwild")
+	workload := flag.String("workload", "cifar", "workload: cifar (Table I) or nlcf (Table II)")
+	scale := flag.String("scale", "small", "small (reduced, default) or paper (exact published sizes; very slow in pure Go)")
+	p := flag.Int("p", 4, "number of learners")
+	t := flag.Int("T", 50, "gradient-aggregation interval (local updates between syncs)")
+	gamma := flag.Float64("gamma", 0, "local learning rate γ (0 = workload default)")
+	gammaP := flag.Float64("gammap", 0, "SASGD global rate γp (0 = γ/p, i.e. model averaging)")
+	batch := flag.Int("batch", 0, "minibatch size M (0 = workload default)")
+	epochs := flag.Int("epochs", 0, "epochs (0 = workload default)")
+	seed := flag.Int64("seed", 1, "random seed")
+	allreduce := flag.String("allreduce", "tree", "SASGD collective: tree or ring")
+	momentum := flag.Float64("momentum", 0, "EAMSGD local momentum (0 = default, negative = none)")
+	topk := flag.Float64("topk", 0, "SASGD top-k compression fraction in (0,1); 0 = dense aggregation")
+	sim := flag.Bool("sim", false, "attach the fabric simulator and report simulated epoch time")
+	vtime := flag.Bool("vtime", false, "deterministic virtual-time scheduling for the asynchronous algorithms")
+	flag.Parse()
+
+	sc := experiments.ScaleSmall
+	switch *scale {
+	case "small":
+	case "paper":
+		sc = experiments.ScalePaper
+		fmt.Fprintln(os.Stderr, "sasgd-train: paper scale selected; a full run takes CPU-days in pure Go")
+	default:
+		fmt.Fprintf(os.Stderr, "sasgd-train: unknown scale %q (want small or paper)\n", *scale)
+		os.Exit(2)
+	}
+	var w *experiments.Workload
+	switch *workload {
+	case "cifar":
+		w = experiments.ImageWorkloadAt(sc)
+	case "nlcf":
+		w = experiments.TextWorkloadAt(sc)
+	default:
+		fmt.Fprintf(os.Stderr, "sasgd-train: unknown workload %q (want cifar or nlcf)\n", *workload)
+		os.Exit(2)
+	}
+
+	cfg := core.Config{
+		Algo:         core.Algorithm(*algo),
+		Learners:     *p,
+		Interval:     *t,
+		Gamma:        w.Gamma,
+		GammaP:       *gammaP,
+		Batch:        w.Batch,
+		Epochs:       w.Epochs,
+		Seed:         *seed,
+		Momentum:     *momentum,
+		Allreduce:    core.AllreduceAlgo(*allreduce),
+		CompressTopK: *topk,
+		VirtualTime:  *vtime,
+	}
+	if *gamma > 0 {
+		cfg.Gamma = *gamma
+	}
+	if *batch > 0 {
+		cfg.Batch = *batch
+	}
+	if *epochs > 0 {
+		cfg.Epochs = *epochs
+	}
+	switch cfg.Algo {
+	case core.AlgoSGD, core.AlgoSASGD, core.AlgoDownpour, core.AlgoEAMSGD, core.AlgoHogwild:
+	default:
+		fmt.Fprintf(os.Stderr, "sasgd-train: unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+	if *sim {
+		simCfg := w.SimConfig(cfg.Learners)
+		cfg.Sim = simCfg
+		cfg.FlopsPerSample = w.PaperCost.TrainFlopsPerSample
+	}
+
+	fmt.Printf("training %s on %s: p=%d T=%d M=%d γ=%g epochs=%d\n",
+		cfg.Algo, w.Name, cfg.Learners, cfg.Interval, cfg.Batch, cfg.Gamma, cfg.Epochs)
+	res := core.Train(cfg, w.Problem)
+
+	tab := metrics.Table{Header: []string{"epoch", "train", "test", "loss"}}
+	for _, pt := range res.Curve {
+		tab.AddRow(fmt.Sprint(pt.Epoch), metrics.Pct(pt.Train), metrics.Pct(pt.Test), fmt.Sprintf("%.4f", pt.Loss))
+	}
+	fmt.Print(tab.String())
+	fmt.Printf("final: train %s test %s (%d samples, wall %s)\n",
+		metrics.Pct(res.FinalTrain), metrics.Pct(res.FinalTest), res.Samples, res.Wall.Round(1e6))
+	if res.StalenessMax > 0 {
+		fmt.Printf("gradient staleness: mean %.2f, max %d\n", res.StalenessMean, res.StalenessMax)
+	}
+	if *sim {
+		fmt.Printf("simulated: %.3fs total, %.3fs/epoch (compute %.3fs, communication %.3fs per learner)\n",
+			res.SimTime, res.EpochTime(), res.SimCompute, res.SimComm)
+	}
+}

@@ -1,0 +1,57 @@
+// Theory walkthrough: the paper's convergence analysis, evaluated
+// numerically. Reproduces the Theorem 1 argument (why ASGD's practical
+// speedup is sublinear), the Figure 3 learning-rate prescription, and
+// the Theorem 4 monotonicity of SASGD's sample complexity in T.
+//
+//	go run ./examples/theory
+package main
+
+import (
+	"fmt"
+
+	"sasgd/internal/metrics"
+	"sasgd/internal/theory"
+)
+
+func main() {
+	// Problem constants in the spirit of the paper's CIFAR-10 estimates
+	// (the paper bounds Df by f(x₁) and estimates L and σ² empirically).
+	c := theory.Constants{Df: 10, L: 2, Sigma2: 4, M: 64}
+
+	fmt.Println("1. Theorem 1: the optimal ASGD guarantee for p learners vs 1 learner")
+	fmt.Println("   (the gap ≈ p/α is why practical ASGD speedup is sublinear)")
+	tab := metrics.Table{Header: []string{"p", "alpha", "optimal c (p)", "guarantee gap", "p/alpha"}}
+	for _, pa := range []struct {
+		p     int
+		alpha float64
+	}{{16, 16}, {32, 16}, {64, 16}, {64, 32}} {
+		tab.AddRow(
+			fmt.Sprint(pa.p), fmt.Sprint(pa.alpha),
+			fmt.Sprintf("%.3f", theory.OptimalC(pa.p, pa.alpha)),
+			fmt.Sprintf("%.2f", theory.GapFactor(pa.p, pa.alpha)),
+			fmt.Sprintf("%.2f", float64(pa.p)/pa.alpha),
+		)
+	}
+	fmt.Print(tab.String())
+
+	fmt.Println("\n2. Figure 3's learning rate: what the ASGD analysis prescribes")
+	k := theory.KForAlpha(c, 16)
+	lr := theory.TheoryLearningRate(c, k)
+	fmt.Printf("   with K = %d updates: γ_theory = %.4f — far below the practical 0.1,\n", k, lr)
+	fmt.Printf("   which is why Figure 3 converges linearly but to a worse optimum.\n")
+
+	fmt.Println("\n3. Theorem 2 / Theorem 4: SASGD's guarantee as T grows (fixed S)")
+	tab2 := metrics.Table{Header: []string{"T", "best Theorem-2 bound", "Corollary-3 K threshold"}}
+	const S = 1e7
+	for _, T := range []int{1, 5, 25, 50, 200} {
+		tab2.AddRow(
+			fmt.Sprint(T),
+			fmt.Sprintf("%.5f", theory.BestSASGDBound(c, 8, T, S)),
+			fmt.Sprintf("%.0f", theory.CorollaryKThreshold(c, 8, T)),
+		)
+	}
+	fmt.Print(tab2.String())
+	fmt.Println("\n   The bound worsens monotonically with T: amortizing communication")
+	fmt.Println("   costs samples, so the practitioner must balance the two — the")
+	fmt.Println("   core design argument for SASGD's explicit interval parameter.")
+}

@@ -1,0 +1,3 @@
+module sasgd
+
+go 1.22

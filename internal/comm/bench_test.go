@@ -1,0 +1,77 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+)
+
+func benchAllreduce(b *testing.B, p, words int, ring bool) {
+	b.Helper()
+	bufs := make([][]float64, p)
+	for r := range bufs {
+		bufs[r] = make([]float64, words)
+	}
+	b.SetBytes(int64(words * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewGroup(p)
+		var wg sync.WaitGroup
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				if ring {
+					g.AllreduceRing(r, bufs[r])
+				} else {
+					g.AllreduceTree(r, bufs[r])
+				}
+			}(r)
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkAllreduceTree8x100k(b *testing.B)  { benchAllreduce(b, 8, 100_000, false) }
+func BenchmarkAllreduceRing8x100k(b *testing.B)  { benchAllreduce(b, 8, 100_000, true) }
+func BenchmarkAllreduceTree16x100k(b *testing.B) { benchAllreduce(b, 16, 100_000, false) }
+
+func BenchmarkParamServerPushPull(b *testing.B) {
+	const m = 500_000
+	srv := NewParamServer(make([]float64, m), 8, nil, nil)
+	grad := make([]float64, m)
+	buf := make([]float64, m)
+	b.SetBytes(2 * m * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.PushGrad(0, 0.1, grad)
+		srv.Pull(0, buf)
+	}
+}
+
+func BenchmarkParamServerElastic(b *testing.B) {
+	const m = 500_000
+	srv := NewParamServer(make([]float64, m), 8, nil, nil)
+	local := make([]float64, m)
+	b.SetBytes(m * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, _ := srv.Elastic(0, 0.1, local)
+		_ = d
+	}
+}
+
+func BenchmarkBarrier8(b *testing.B) {
+	bar := NewBarrier(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for r := 0; r < 8; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				bar.Wait()
+			}()
+		}
+		wg.Wait()
+	}
+}

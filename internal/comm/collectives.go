@@ -1,0 +1,122 @@
+package comm
+
+import "fmt"
+
+// The collectives below are the textbook message-passing algorithms —
+// binomial-tree reduce/broadcast and ring reduce-scatter/allgather —
+// executed by p cooperating goroutines over the group's channels. Each
+// learner calls the method with its own rank; all learners must call the
+// same collectives in the same order (bulk-synchronous discipline), which
+// is exactly how Algorithm 1 in the paper uses them.
+
+// AllreduceTree sums buf elementwise across all learners using a binomial
+// tree (reduce to rank 0, then broadcast), leaving the global sum in
+// every learner's buf. The data volume per learner is O(m log p), the
+// figure the paper contrasts with the parameter server's O(mp).
+func (g *Group) AllreduceTree(rank int, buf []float64) {
+	g.ReduceTree(rank, buf)
+	g.BroadcastTree(rank, buf)
+}
+
+// ReduceTree sums buf elementwise across learners into rank 0's buf using
+// a binomial tree. Non-root buffers hold partial sums afterwards and
+// should be treated as scratch.
+func (g *Group) ReduceTree(rank int, buf []float64) {
+	g.checkRank(rank)
+	for step := 1; step < g.p; step <<= 1 {
+		if rank%(2*step) != 0 {
+			// This learner's subtree is complete: hand the partial sum up.
+			g.Send(rank, rank-step, buf)
+			return
+		}
+		peer := rank + step
+		if peer < g.p {
+			in := g.Recv(rank, peer)
+			if len(in) != len(buf) {
+				panic(fmt.Sprintf("comm: ReduceTree length mismatch %d vs %d", len(in), len(buf)))
+			}
+			for i, v := range in {
+				buf[i] += v
+			}
+		}
+	}
+}
+
+// BroadcastTree distributes rank 0's buf to every learner using a
+// binomial tree. On return every learner's buf holds root's data.
+func (g *Group) BroadcastTree(rank int, buf []float64) {
+	g.checkRank(rank)
+	// Highest power of two below p bounds the first step.
+	top := 1
+	for top < g.p {
+		top <<= 1
+	}
+	for step := top >> 1; step >= 1; step >>= 1 {
+		switch {
+		case rank%(2*step) == 0:
+			peer := rank + step
+			if peer < g.p {
+				// Send a copy: the receiver owns the payload.
+				out := make([]float64, len(buf))
+				copy(out, buf)
+				g.Send(rank, peer, out)
+			}
+		case rank%(2*step) == step:
+			in := g.Recv(rank, rank-step)
+			if len(in) != len(buf) {
+				panic(fmt.Sprintf("comm: BroadcastTree length mismatch %d vs %d", len(in), len(buf)))
+			}
+			copy(buf, in)
+		}
+	}
+}
+
+// AllreduceRing sums buf elementwise across all learners with the
+// bandwidth-optimal ring algorithm: a reduce-scatter phase of p−1 steps
+// followed by an allgather phase of p−1 steps, each moving m/p words per
+// step. Provided as the ablation alternative to the tree (DESIGN.md §5).
+func (g *Group) AllreduceRing(rank int, buf []float64) {
+	g.checkRank(rank)
+	p := g.p
+	if p == 1 {
+		return
+	}
+	m := len(buf)
+	// chunk c covers [bounds[c], bounds[c+1])
+	bounds := make([]int, p+1)
+	for c := 0; c <= p; c++ {
+		bounds[c] = c * m / p
+	}
+	chunk := func(c int) []float64 { return buf[bounds[c%p]:bounds[c%p+1]] }
+	next := (rank + 1) % p
+	prev := (rank - 1 + p) % p
+
+	// Reduce-scatter: after step s, each learner has accumulated one more
+	// chunk; after p−1 steps learner r holds the full sum of chunk (r+1)%p.
+	for s := 0; s < p-1; s++ {
+		sendC := (rank - s + p + p) % p
+		recvC := (rank - s - 1 + p + p) % p
+		out := make([]float64, len(chunk(sendC)))
+		copy(out, chunk(sendC))
+		g.Send(rank, next, out)
+		in := g.Recv(rank, prev)
+		dst := chunk(recvC)
+		if len(in) != len(dst) {
+			panic(fmt.Sprintf("comm: AllreduceRing length mismatch %d vs %d", len(in), len(dst)))
+		}
+		for i, v := range in {
+			dst[i] += v
+		}
+	}
+	// Allgather: circulate the completed chunks.
+	for s := 0; s < p-1; s++ {
+		sendC := (rank + 1 - s + p + p) % p
+		recvC := (rank - s + p + p) % p
+		out := make([]float64, len(chunk(sendC)))
+		copy(out, chunk(sendC))
+		g.Send(rank, next, out)
+		in := g.Recv(rank, prev)
+		dst := chunk(recvC)
+		copy(dst, in)
+	}
+}

@@ -1,0 +1,51 @@
+package comm_test
+
+import (
+	"fmt"
+	"sync"
+
+	"sasgd/internal/comm"
+)
+
+// Four learners sum their gradient buffers with the binomial-tree
+// allreduce SASGD aggregates through; every learner ends up with the
+// global sum.
+func ExampleGroup_AllreduceTree() {
+	const p = 4
+	g := comm.NewGroup(p)
+	bufs := [][]float64{{1, 0}, {2, 0}, {3, 0}, {4, 10}}
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			g.AllreduceTree(r, bufs[r])
+		}(r)
+	}
+	wg.Wait()
+	fmt.Println(bufs[0], bufs[3])
+	// Output:
+	// [10 10] [10 10]
+}
+
+// TopK keeps only the largest-magnitude coordinates — the payload of the
+// sparse-aggregation extension.
+func ExampleTopK() {
+	s := comm.TopK([]float64{0.1, -5, 2, 0, -0.5, 3}, 2)
+	fmt.Println(s.Idx, s.Val)
+	// Output:
+	// [1 5] [-5 3]
+}
+
+// The sharded parameter server Downpour aggregates through: pushes apply
+// scaled gradients, pulls read the (not necessarily consistent) current
+// parameters.
+func ExampleParamServer() {
+	srv := comm.NewParamServer([]float64{1, 1, 1, 1}, 2, nil, nil)
+	srv.PushGrad(0, 0.5, []float64{2, 2, 2, 2})
+	out := make([]float64, 4)
+	srv.Pull(0, out)
+	fmt.Println(out)
+	// Output:
+	// [0 0 0 0]
+}

@@ -1,0 +1,180 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one point-to-point transfer between learners. arrive is the
+// simulated time at which the payload is fully received (0 when the group
+// has no cost model).
+type message struct {
+	data   []float64
+	arrive float64
+}
+
+// Group is a fixed set of p learners that communicate through buffered
+// per-(sender, receiver) channels, giving MPI-like ordered point-to-point
+// semantics on which the collectives are built.
+//
+// A Group may be constructed with per-learner simulated clocks and a
+// fabric cost model; every send then stamps its message with an arrival
+// time and every receive synchronizes the receiver's clock, so collective
+// completion times fall out of the actual message schedule rather than a
+// closed-form estimate.
+type Group struct {
+	p      int
+	mail   [][]chan message // mail[to][from]
+	clocks []Clock
+	cost   CostModel
+	bar    *Barrier
+
+	mu        sync.Mutex
+	wordsSent int64 // total float64 words moved, for the traffic accounting tests
+}
+
+// NewGroup returns a group of p learners with no time simulation.
+func NewGroup(p int) *Group { return NewSimGroup(p, nil, nil) }
+
+// NewSimGroup returns a group of p learners whose communication is
+// charged to the given clocks using the given cost model. clocks may be
+// nil (no simulation); if non-nil it must have length p.
+func NewSimGroup(p int, clocks []Clock, cost CostModel) *Group {
+	if p <= 0 {
+		panic(fmt.Sprintf("comm: NewGroup(%d): group size must be positive", p))
+	}
+	if clocks != nil && len(clocks) != p {
+		panic(fmt.Sprintf("comm: NewSimGroup got %d clocks for %d learners", len(clocks), p))
+	}
+	g := &Group{p: p, clocks: clocks, cost: cost, bar: NewBarrier(p)}
+	g.mail = make([][]chan message, p)
+	for to := range g.mail {
+		g.mail[to] = make([]chan message, p)
+		for from := range g.mail[to] {
+			// Buffer a few messages so simple send-then-recv exchanges
+			// don't deadlock; collectives never have more than one
+			// outstanding message per (from, to) pair.
+			g.mail[to][from] = make(chan message, 4)
+		}
+	}
+	return g
+}
+
+// Size returns the number of learners in the group.
+func (g *Group) Size() int { return g.p }
+
+// Clock returns learner rank's simulated clock (a no-op clock when the
+// group was built without simulation).
+func (g *Group) Clock(rank int) Clock {
+	if g.clocks == nil {
+		return nullClock{}
+	}
+	return g.clocks[rank]
+}
+
+// WordsSent returns the total number of float64 words sent through the
+// group so far (point-to-point only; server traffic is accounted by the
+// server).
+func (g *Group) WordsSent() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.wordsSent
+}
+
+// Send transfers data from learner `from` to learner `to`. The slice is
+// handed off, not copied: the sender must not reuse it until the receiver
+// is done (the collectives allocate fresh buffers where needed).
+func (g *Group) Send(from, to int, data []float64) {
+	g.checkRank(from)
+	g.checkRank(to)
+	arrive := 0.0
+	if g.clocks != nil && g.cost != nil {
+		arrive = g.clocks[from].Now() + g.cost.XferTime(from, to, len(data))
+	}
+	g.mu.Lock()
+	g.wordsSent += int64(len(data))
+	g.mu.Unlock()
+	g.mail[to][from] <- message{data: data, arrive: arrive}
+}
+
+// Recv blocks until a message from learner `from` arrives at learner
+// `to`, synchronizes to's clock with the arrival time, and returns the
+// payload.
+func (g *Group) Recv(to, from int) []float64 {
+	g.checkRank(from)
+	g.checkRank(to)
+	m := <-g.mail[to][from]
+	if g.clocks != nil {
+		g.clocks[to].Sync(m.arrive)
+	}
+	return m.data
+}
+
+func (g *Group) checkRank(r int) {
+	if r < 0 || r >= g.p {
+		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", r, g.p))
+	}
+}
+
+// Barrier blocks until all p learners have called it. When the group is
+// simulated, all clocks are synchronized to the latest arrival, matching
+// bulk-synchronous semantics.
+func (g *Group) Barrier(rank int) {
+	g.checkRank(rank)
+	if g.clocks == nil {
+		g.bar.Wait()
+		return
+	}
+	t := g.bar.WaitMax(g.clocks[rank].Now())
+	g.clocks[rank].Sync(t)
+}
+
+// Barrier is a reusable p-party synchronization point that additionally
+// computes the maximum of the values its waiters contribute (used to
+// align simulated clocks).
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	waiting int
+	phase   int
+	maxVal  float64
+	outVal  float64
+}
+
+// NewBarrier returns a reusable barrier for n parties.
+func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic(fmt.Sprintf("comm: NewBarrier(%d): party count must be positive", n))
+	}
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all n parties have called Wait.
+func (b *Barrier) Wait() { b.WaitMax(0) }
+
+// WaitMax blocks until all n parties have called WaitMax and returns the
+// maximum value contributed across them.
+func (b *Barrier) WaitMax(v float64) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if v > b.maxVal {
+		b.maxVal = v
+	}
+	b.waiting++
+	if b.waiting == b.n {
+		b.outVal = b.maxVal
+		b.maxVal = 0
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+		return b.outVal
+	}
+	phase := b.phase
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+	return b.outVal
+}

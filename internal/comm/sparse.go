@@ -1,0 +1,169 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sparse aggregation support: SASGD's aggregation interval makes
+// communication sparse in *time*; the natural next step (and a standard
+// extension in later allreduce-based training systems) is to also make
+// each aggregation sparse in *space* by shipping only the k largest-
+// magnitude gradient entries. SparseVec is the wire format and
+// AllreduceSparseTree the collective; internal/core adds the error-
+// feedback residual that makes the compression safe for convergence.
+
+// SparseVec is a sorted-index sparse vector: Idx is strictly increasing
+// and Val[i] belongs to coordinate Idx[i].
+type SparseVec struct {
+	Idx []int
+	Val []float64
+}
+
+// NNZ returns the number of stored entries.
+func (s SparseVec) NNZ() int { return len(s.Idx) }
+
+// Words returns the number of float64-equivalent words the vector
+// occupies on the wire (one word per value plus one per index, the
+// accounting the cost model charges).
+func (s SparseVec) Words() int { return 2 * len(s.Idx) }
+
+// TopK extracts the k largest-magnitude entries of dense into a
+// SparseVec (all entries if k >= len(dense) or k <= 0 selects none).
+// Ties are broken toward lower indices so the result is deterministic.
+func TopK(dense []float64, k int) SparseVec {
+	if k <= 0 {
+		return SparseVec{}
+	}
+	if k > len(dense) {
+		k = len(dense)
+	}
+	idx := make([]int, len(dense))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection: full sort is O(n log n) but simple and
+	// deterministic; selection runs once per aggregation interval.
+	sort.Slice(idx, func(a, b int) bool {
+		va, vb := abs(dense[idx[a]]), abs(dense[idx[b]])
+		if va != vb {
+			return va > vb
+		}
+		return idx[a] < idx[b]
+	})
+	sel := append([]int(nil), idx[:k]...)
+	sort.Ints(sel)
+	out := SparseVec{Idx: sel, Val: make([]float64, k)}
+	for i, j := range sel {
+		out.Val[i] = dense[j]
+	}
+	return out
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// AddTo accumulates the sparse vector into dense.
+func (s SparseVec) AddTo(dense []float64) {
+	for i, j := range s.Idx {
+		dense[j] += s.Val[i]
+	}
+}
+
+// merge returns the coordinate-wise sum of two sorted sparse vectors.
+func merge(a, b SparseVec) SparseVec {
+	out := SparseVec{
+		Idx: make([]int, 0, len(a.Idx)+len(b.Idx)),
+		Val: make([]float64, 0, len(a.Idx)+len(b.Idx)),
+	}
+	i, j := 0, 0
+	for i < len(a.Idx) && j < len(b.Idx) {
+		switch {
+		case a.Idx[i] < b.Idx[j]:
+			out.Idx = append(out.Idx, a.Idx[i])
+			out.Val = append(out.Val, a.Val[i])
+			i++
+		case a.Idx[i] > b.Idx[j]:
+			out.Idx = append(out.Idx, b.Idx[j])
+			out.Val = append(out.Val, b.Val[j])
+			j++
+		default:
+			out.Idx = append(out.Idx, a.Idx[i])
+			out.Val = append(out.Val, a.Val[i]+b.Val[j])
+			i++
+			j++
+		}
+	}
+	out.Idx = append(out.Idx, a.Idx[i:]...)
+	out.Val = append(out.Val, a.Val[i:]...)
+	out.Idx = append(out.Idx, b.Idx[j:]...)
+	out.Val = append(out.Val, b.Val[j:]...)
+	return out
+}
+
+// encode flattens a sparse vector into one []float64 message (indices
+// stored as floats — exact for indices below 2^53, far beyond any model
+// size here) so it travels over the group's existing typed channels and
+// is charged by the cost model at its true wire size.
+func (s SparseVec) encode() []float64 {
+	buf := make([]float64, 0, 2*len(s.Idx))
+	for i := range s.Idx {
+		buf = append(buf, float64(s.Idx[i]), s.Val[i])
+	}
+	return buf
+}
+
+func decodeSparse(buf []float64) SparseVec {
+	if len(buf)%2 != 0 {
+		panic(fmt.Sprintf("comm: sparse message has odd length %d", len(buf)))
+	}
+	n := len(buf) / 2
+	out := SparseVec{Idx: make([]int, n), Val: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		out.Idx[i] = int(buf[2*i])
+		out.Val[i] = buf[2*i+1]
+	}
+	return out
+}
+
+// AllreduceSparseTree sums each learner's sparse contribution across the
+// group with a binomial tree and returns the global sum (identical on
+// every learner). Message sizes grow toward the root only where supports
+// differ, so the wire cost is between 2k and 2kp words — the compression
+// the time model rewards.
+func (g *Group) AllreduceSparseTree(rank int, contrib SparseVec) SparseVec {
+	g.checkRank(rank)
+	acc := contrib
+	// Reduce to rank 0.
+	for step := 1; step < g.p; step <<= 1 {
+		if rank%(2*step) != 0 {
+			g.Send(rank, rank-step, acc.encode())
+			break
+		}
+		peer := rank + step
+		if peer < g.p {
+			acc = merge(acc, decodeSparse(g.Recv(rank, peer)))
+		}
+	}
+	// Broadcast the merged result down the same tree.
+	top := 1
+	for top < g.p {
+		top <<= 1
+	}
+	for step := top >> 1; step >= 1; step >>= 1 {
+		switch {
+		case rank%(2*step) == 0:
+			peer := rank + step
+			if peer < g.p {
+				g.Send(rank, peer, acc.encode())
+			}
+		case rank%(2*step) == step:
+			acc = decodeSparse(g.Recv(rank, rank-step))
+		}
+	}
+	return acc
+}

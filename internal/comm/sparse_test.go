@@ -1,0 +1,216 @@
+package comm
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopKSelectsLargestMagnitude(t *testing.T) {
+	dense := []float64{0.1, -5, 2, 0, -0.5, 3}
+	s := TopK(dense, 3)
+	want := map[int]float64{1: -5, 5: 3, 2: 2}
+	if s.NNZ() != 3 {
+		t.Fatalf("NNZ = %d", s.NNZ())
+	}
+	for i, j := range s.Idx {
+		if want[j] != s.Val[i] {
+			t.Errorf("TopK kept (%d, %g)", j, s.Val[i])
+		}
+		if i > 0 && s.Idx[i-1] >= j {
+			t.Error("indices not strictly increasing")
+		}
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	if TopK([]float64{1, 2}, 0).NNZ() != 0 {
+		t.Error("k=0 kept entries")
+	}
+	if TopK([]float64{1, 2}, 10).NNZ() != 2 {
+		t.Error("k>len did not clamp")
+	}
+	if TopK(nil, 3).NNZ() != 0 {
+		t.Error("empty dense")
+	}
+}
+
+func TestTopKDeterministicTies(t *testing.T) {
+	dense := []float64{1, -1, 1, -1}
+	a := TopK(dense, 2)
+	b := TopK(dense, 2)
+	for i := range a.Idx {
+		if a.Idx[i] != b.Idx[i] {
+			t.Fatal("tie-breaking not deterministic")
+		}
+	}
+	if a.Idx[0] != 0 || a.Idx[1] != 1 {
+		t.Errorf("ties should prefer low indices, got %v", a.Idx)
+	}
+}
+
+func TestSparseAddTo(t *testing.T) {
+	dense := make([]float64, 5)
+	SparseVec{Idx: []int{1, 4}, Val: []float64{2, -3}}.AddTo(dense)
+	if dense[1] != 2 || dense[4] != -3 || dense[0] != 0 {
+		t.Errorf("AddTo = %v", dense)
+	}
+}
+
+func TestMergeSparse(t *testing.T) {
+	a := SparseVec{Idx: []int{0, 2, 5}, Val: []float64{1, 2, 3}}
+	b := SparseVec{Idx: []int{2, 3}, Val: []float64{10, 20}}
+	m := merge(a, b)
+	wantIdx := []int{0, 2, 3, 5}
+	wantVal := []float64{1, 12, 20, 3}
+	if m.NNZ() != 4 {
+		t.Fatalf("merge NNZ = %d", m.NNZ())
+	}
+	for i := range wantIdx {
+		if m.Idx[i] != wantIdx[i] || m.Val[i] != wantVal[i] {
+			t.Fatalf("merge = %v/%v", m.Idx, m.Val)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := SparseVec{Idx: []int{3, 7, 100000}, Val: []float64{-1.5, 2.25, 1e-9}}
+	d := decodeSparse(s.encode())
+	for i := range s.Idx {
+		if d.Idx[i] != s.Idx[i] || d.Val[i] != s.Val[i] {
+			t.Fatal("round trip mismatch")
+		}
+	}
+}
+
+func TestAllreduceSparseTreeSums(t *testing.T) {
+	for p := 1; p <= 9; p++ {
+		const n, k = 30, 5
+		rng := rand.New(rand.NewSource(int64(p)))
+		dense := make([][]float64, p)
+		want := make([]float64, n)
+		contribs := make([]SparseVec, p)
+		for r := 0; r < p; r++ {
+			dense[r] = make([]float64, n)
+			for i := range dense[r] {
+				dense[r][i] = rng.NormFloat64()
+			}
+			contribs[r] = TopK(dense[r], k)
+			contribs[r].AddTo(want)
+		}
+		g := NewGroup(p)
+		results := make([]SparseVec, p)
+		var wg sync.WaitGroup
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				results[r] = g.AllreduceSparseTree(r, contribs[r])
+			}(r)
+		}
+		wg.Wait()
+		for r := 0; r < p; r++ {
+			got := make([]float64, n)
+			results[r].AddTo(got)
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-12 {
+					t.Fatalf("p=%d rank=%d coord %d: %g vs %g", p, r, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// Property: the sparse allreduce of full-density contributions equals the
+// dense allreduce.
+func TestSparseAllreduceMatchesDenseAtFullDensity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 2 + rng.Intn(6)
+		n := 1 + rng.Intn(20)
+		denseBufs := make([][]float64, p)
+		contribs := make([]SparseVec, p)
+		for r := 0; r < p; r++ {
+			denseBufs[r] = make([]float64, n)
+			for i := range denseBufs[r] {
+				denseBufs[r][i] = rng.NormFloat64()
+			}
+			contribs[r] = TopK(denseBufs[r], n)
+		}
+		gd := NewGroup(p)
+		gs := NewGroup(p)
+		sparseOut := make([]SparseVec, p)
+		var wg sync.WaitGroup
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				sparseOut[r] = gs.AllreduceSparseTree(r, contribs[r])
+			}(r)
+		}
+		wg.Wait()
+		denseCopy := make([][]float64, p)
+		for r := range denseBufs {
+			denseCopy[r] = append([]float64(nil), denseBufs[r]...)
+		}
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				gd.AllreduceTree(r, denseCopy[r])
+			}(r)
+		}
+		wg.Wait()
+		got := make([]float64, n)
+		sparseOut[0].AddTo(got)
+		for i := range got {
+			if math.Abs(got[i]-denseCopy[0][i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparseAllreduceMovesFewerWords(t *testing.T) {
+	const p, n, k = 8, 1000, 10
+	rng := rand.New(rand.NewSource(3))
+	contribs := make([]SparseVec, p)
+	denseBufs := make([][]float64, p)
+	for r := 0; r < p; r++ {
+		d := make([]float64, n)
+		for i := range d {
+			d[i] = rng.NormFloat64()
+		}
+		denseBufs[r] = d
+		contribs[r] = TopK(d, k)
+	}
+	gs := NewGroup(p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			gs.AllreduceSparseTree(r, contribs[r])
+		}(r)
+	}
+	wg.Wait()
+	gd := NewGroup(p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			gd.AllreduceTree(r, denseBufs[r])
+		}(r)
+	}
+	wg.Wait()
+	if gs.WordsSent() >= gd.WordsSent()/5 {
+		t.Errorf("sparse allreduce moved %d words vs dense %d; expected ≥5× savings at 1%% density",
+			gs.WordsSent(), gd.WordsSent())
+	}
+}

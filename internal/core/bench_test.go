@@ -1,0 +1,21 @@
+package core
+
+import "testing"
+
+func benchTrain(b *testing.B, algo Algorithm, p int) {
+	b.Helper()
+	prob := tinyProblem(512, 64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Train(Config{
+			Algo: algo, Learners: p, Interval: 5, Gamma: 0.1,
+			Batch: 16, Epochs: 2, Seed: 1, EvalEvery: 2,
+		}, prob)
+	}
+}
+
+func BenchmarkTrainSGD(b *testing.B)       { benchTrain(b, AlgoSGD, 1) }
+func BenchmarkTrainSASGD4(b *testing.B)    { benchTrain(b, AlgoSASGD, 4) }
+func BenchmarkTrainSASGD16(b *testing.B)   { benchTrain(b, AlgoSASGD, 16) }
+func BenchmarkTrainDownpour4(b *testing.B) { benchTrain(b, AlgoDownpour, 4) }
+func BenchmarkTrainEAMSGD4(b *testing.B)   { benchTrain(b, AlgoEAMSGD, 4) }

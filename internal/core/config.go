@@ -1,0 +1,166 @@
+// Package core implements the paper's contribution and its baselines:
+// SASGD (Algorithm 1 — bulk-synchronous SGD with a gradient-aggregation
+// interval T and allreduce-based sparse aggregation), sequential SGD,
+// Downpour (asynchronous SGD through a sharded parameter server), and
+// EAMSGD (elastic-averaging asynchronous SGD with momentum). All four
+// share the same learner harness, model replicas, data partitioning,
+// epoch accounting, and optional fabric simulation, so their measured
+// differences come from the algorithms alone.
+package core
+
+import (
+	"fmt"
+
+	"sasgd/internal/data"
+	"sasgd/internal/netsim"
+	"sasgd/internal/nn"
+)
+
+// Algorithm identifies one of the implemented training algorithms.
+type Algorithm string
+
+// The implemented algorithms.
+const (
+	AlgoSGD      Algorithm = "sgd"      // sequential baseline (p = 1)
+	AlgoSASGD    Algorithm = "sasgd"    // the paper's Algorithm 1
+	AlgoDownpour Algorithm = "downpour" // parameter-server ASGD (Dean et al.)
+	AlgoEAMSGD   Algorithm = "eamsgd"   // elastic averaging ASGD (Zhang et al.)
+	AlgoHogwild  Algorithm = "hogwild"  // lock-free shared-memory ASGD (Niu et al.)
+)
+
+// AllreduceAlgo selects the collective implementation SASGD aggregates
+// with.
+type AllreduceAlgo string
+
+// The implemented allreduce algorithms.
+const (
+	AllreduceTree AllreduceAlgo = "tree" // binomial tree (paper's O(m log p))
+	AllreduceRing AllreduceAlgo = "ring" // bandwidth-optimal ring (ablation)
+)
+
+// Config parameterizes a training run. The field names follow the
+// paper's notation (Table III): p learners, aggregation interval T,
+// minibatch size M, local learning rate γ and global rate γp.
+type Config struct {
+	Algo     Algorithm
+	Learners int     // p: number of learners
+	Interval int     // T: local updates between aggregations
+	Batch    int     // M: minibatch size
+	Gamma    float64 // γ: local learning rate
+	// GammaP is SASGD's global aggregation rate γp. Zero selects γ/p,
+	// which makes the aggregation step exactly model averaging of the
+	// local replicas (the heuristic the paper says Algorithm 1 simulates
+	// with its "1/p" choice).
+	GammaP float64
+	Epochs int // collective passes over the training data
+	Seed   int64
+
+	// Parameter-server settings (Downpour, EAMSGD).
+	Shards int // sharded-server shard count (default: min(8, p))
+
+	// EAMSGD settings.
+	Alpha float64 // elastic rate α (default 0.9/p, as in Zhang et al.)
+	// Momentum is EAMSGD's local momentum μ. Zero selects the default
+	// 0.3 (calibrated to the reduced-scale workloads; the original
+	// paper's 0.9 assumes far smaller effective learning rates); any
+	// negative value disables momentum.
+	Momentum float64
+
+	// SASGD collective selection (default tree).
+	Allreduce AllreduceAlgo
+
+	// CompressTopK, when in (0, 1), makes SASGD's aggregation sparse in
+	// space as well as in time: each learner ships only the top-k
+	// fraction of its accumulated gradient (by magnitude) through a
+	// sparse allreduce, keeping the unsent remainder as an error-feedback
+	// residual folded into the next interval. 0 disables compression
+	// (the paper's Algorithm 1).
+	CompressTopK float64
+
+	// VirtualTime serializes the asynchronous algorithms' learner steps
+	// in virtual-clock order (see vtime.go), making Downpour, EAMSGD and
+	// Hogwild runs deterministic at the cost of scheduler realism. It has
+	// no effect on the bulk-synchronous algorithms, which are
+	// deterministic already.
+	VirtualTime bool
+
+	// EvalEvery records accuracy every this many collective epochs
+	// (default 1). Evaluation itself is never charged to simulated time.
+	EvalEvery int
+
+	// Sim, when non-nil, attaches the fabric simulator: compute and
+	// communication are charged to per-learner clocks and the result
+	// carries simulated epoch times and compute/communication splits.
+	Sim *netsim.Sim
+	// FlopsPerSample is the paper-scale training cost per sample charged
+	// to the simulator (ignored when Sim is nil).
+	FlopsPerSample float64
+}
+
+// withDefaults validates cfg and fills defaulted fields.
+func (c Config) withDefaults() Config {
+	if c.Learners <= 0 || c.Algo == AlgoSGD {
+		c.Learners = 1
+	}
+	if c.Interval <= 0 {
+		c.Interval = 1
+	}
+	if c.Batch <= 0 {
+		c.Batch = 1
+	}
+	if c.Gamma <= 0 {
+		panic(fmt.Sprintf("core: config needs a positive learning rate, got %g", c.Gamma))
+	}
+	if c.GammaP == 0 {
+		c.GammaP = c.Gamma / float64(c.Learners)
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 1
+	}
+	if c.Shards <= 0 {
+		c.Shards = c.Learners
+		if c.Shards > 8 {
+			c.Shards = 8
+		}
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.9 / float64(c.Learners)
+	}
+	// Momentum: zero selects the default; pass any negative value for
+	// plain (momentum-free) local SGD.
+	if c.Momentum == 0 {
+		c.Momentum = 0.3
+	}
+	if c.Momentum < 0 {
+		c.Momentum = 0
+	}
+	if c.Allreduce == "" {
+		c.Allreduce = AllreduceTree
+	}
+	if c.EvalEvery <= 0 {
+		c.EvalEvery = 1
+	}
+	return c
+}
+
+// ModelFactory builds one learner's model replica. Each learner calls it
+// with a distinct seed (for dropout masks); initial parameters are then
+// overwritten by a broadcast from learner 0, as in Algorithm 1.
+type ModelFactory func(seed int64) *nn.Network
+
+// Problem bundles a workload: the model factory and the train/test data.
+type Problem struct {
+	Name  string
+	Model ModelFactory
+	Train *data.Dataset
+	Test  *data.Dataset
+}
+
+// newReplica builds and seeds a learner's model.
+func (p *Problem) newReplica(seed int64) *nn.Network {
+	net := p.Model(seed)
+	if net == nil {
+		panic("core: model factory returned nil")
+	}
+	return net
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"sasgd/internal/comm"
+	"sasgd/internal/data"
+	"sasgd/internal/tensor"
+)
+
+// trainSASGD implements Algorithm 1 of the paper.
+//
+// Each of the p learners runs T local minibatch updates (x ← x − γ·g),
+// accumulating every gradient it applied into gs. At the end of the
+// interval the learners allreduce gs, apply the aggregated gradient to
+// the shared reference parameters with the global rate γp
+// (x′ ← x′ − γp·gs), reset their local replica to x′, and clear gs.
+// Initial parameters are broadcast from learner 0. With γp = γ/p the
+// aggregation step is exactly model averaging of the p local replicas,
+// the heuristic the paper notes Algorithm 1 simulates.
+//
+// Gradient staleness is bounded by T by construction: no gradient is
+// applied to the global parameters more than T local updates after it
+// was computed, which is the property the paper contrasts with ASGD's
+// scheduler-dependent staleness.
+func trainSASGD(cfg Config, prob *Problem) *Result {
+	p := cfg.Learners
+	shards := prob.Train.Partition(p)
+	bpe := batchesPerEpoch(shards, cfg.Batch)
+
+	var group *comm.Group
+	if cfg.Sim != nil {
+		group = comm.NewSimGroup(p, cfg.Sim.Clocks(), cfg.Sim.CostModel())
+	} else {
+		group = comm.NewGroup(p)
+	}
+	rec := newRecorder(prob)
+	var samples atomic.Int64
+	var finalParams []float64
+
+	runLearners(p, func(rank int) {
+		net := prob.newReplica(cfg.Seed + int64(rank))
+		m := net.NumParams()
+		params := net.ParamData()
+		grads := net.GradData()
+
+		// x ← broadcast(x, p, id); x′ ← x
+		group.BroadcastTree(rank, params)
+		xref := append([]float64(nil), params...)
+		gs := make([]float64, m)
+		// Error-feedback residual for top-k compression: the part of gs
+		// that was not shipped last interval, folded back in so no
+		// gradient mass is ever dropped permanently.
+		var residual []float64
+		if cfg.CompressTopK > 0 {
+			residual = make([]float64, m)
+		}
+
+		sampler := data.NewEpochSampler(shards[rank].Len(), cfg.Batch, cfg.Seed+int64(rank)*31+7)
+		var lastLoss float64
+		step := 0
+		for epoch := 0; epoch < cfg.Epochs; epoch++ {
+			for b := 0; b < bpe; b++ {
+				idx := sampler.Next()
+				x, y := shards[rank].Batch(idx)
+				lastLoss = net.Step(x, y)
+				// x ← x − γ·g ; gs ← gs + g
+				tensor.Axpy(-cfg.Gamma, grads, params)
+				tensor.Axpy(1, grads, gs)
+				samples.Add(int64(len(idx)))
+				if cfg.Sim != nil {
+					cfg.Sim.ChargeBatch(rank, cfg.FlopsPerSample*float64(len(idx)))
+				}
+				step++
+				if step%cfg.Interval == 0 {
+					aggregate(group, rank, cfg, gs, residual, xref, params)
+				}
+			}
+			// Collective epoch boundary: synchronize and let learner 0
+			// record accuracy from its own replica (the paper collects
+			// accuracy from one learner after each full pass).
+			group.Barrier(rank)
+			if rank == 0 && (epoch+1)%cfg.EvalEvery == 0 {
+				simNow := 0.0
+				if cfg.Sim != nil {
+					simNow = cfg.Sim.MaxTime()
+				}
+				rec.record(epoch+1, params, lastLoss, simNow)
+			}
+			group.Barrier(rank)
+		}
+		if rank == 0 {
+			finalParams = append([]float64(nil), params...)
+		}
+	})
+
+	simTime, compute, communication := cfg.simSplits()
+	return &Result{
+		Algo:        AlgoSASGD,
+		P:           p,
+		T:           cfg.Interval,
+		Curve:       rec.points(),
+		Samples:     samples.Load(),
+		SimTime:     simTime,
+		SimCompute:  compute,
+		SimComm:     communication,
+		WordsMoved:  group.WordsSent(),
+		FinalParams: finalParams,
+	}
+}
+
+// aggregate performs one global aggregation: allreduce gs (dense, or
+// top-k sparsified with an error-feedback residual), apply the aggregate
+// to the reference parameters with γp, reset the local replica, clear gs.
+func aggregate(group *comm.Group, rank int, cfg Config, gs, residual, xref, params []float64) {
+	if cfg.CompressTopK > 0 && cfg.CompressTopK < 1 {
+		// Fold in last interval's unsent remainder, ship the largest
+		// entries, keep the rest as the next residual.
+		tensor.Axpy(1, residual, gs)
+		k := int(cfg.CompressTopK * float64(len(gs)))
+		if k < 1 {
+			k = 1
+		}
+		sent := comm.TopK(gs, k)
+		copy(residual, gs)
+		for i, j := range sent.Idx {
+			residual[j] -= sent.Val[i]
+		}
+		sum := group.AllreduceSparseTree(rank, sent)
+		// x′ ← x′ − γp·Σ sparsified(gs) ; x ← x′ ; gs ← 0
+		for i, j := range sum.Idx {
+			xref[j] -= cfg.GammaP * sum.Val[i]
+		}
+		copy(params, xref)
+		for i := range gs {
+			gs[i] = 0
+		}
+		return
+	}
+	switch cfg.Allreduce {
+	case AllreduceRing:
+		group.AllreduceRing(rank, gs)
+	default:
+		group.AllreduceTree(rank, gs)
+	}
+	// x′ ← x′ − γp·gs ; x ← x′ ; gs ← 0
+	tensor.Axpy(-cfg.GammaP, gs, xref)
+	copy(params, xref)
+	for i := range gs {
+		gs[i] = 0
+	}
+}

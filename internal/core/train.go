@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sasgd/internal/data"
+)
+
+// Train runs one training experiment and returns its result. It
+// dispatches on cfg.Algo; every algorithm shares the same data
+// partitioning, per-learner replicas, epoch accounting, and (optional)
+// fabric simulation.
+func Train(cfg Config, prob *Problem) *Result {
+	cfg = cfg.withDefaults()
+	if prob.Train == nil || prob.Test == nil || prob.Train.Len() == 0 {
+		panic("core: Train needs non-empty train and test datasets")
+	}
+	start := time.Now()
+	var res *Result
+	switch cfg.Algo {
+	case AlgoSGD:
+		res = trainSGD(cfg, prob)
+	case AlgoSASGD:
+		res = trainSASGD(cfg, prob)
+	case AlgoDownpour:
+		res = trainDownpour(cfg, prob)
+	case AlgoEAMSGD:
+		res = trainEAMSGD(cfg, prob)
+	case AlgoHogwild:
+		res = trainHogwild(cfg, prob)
+	default:
+		panic(fmt.Sprintf("core: unknown algorithm %q", cfg.Algo))
+	}
+	res.Wall = time.Since(start)
+	if len(res.Curve) > 0 {
+		last := res.Curve[len(res.Curve)-1]
+		res.FinalTrain, res.FinalTest = last.Train, last.Test
+	}
+	return res
+}
+
+// runLearners starts p learner goroutines and waits for all of them. A
+// panic in any learner is rethrown on the caller's goroutine with the
+// learner's rank attached.
+func runLearners(p int, fn func(rank int)) {
+	var wg sync.WaitGroup
+	panics := make(chan interface{}, p)
+	for rank := 0; rank < p; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- fmt.Sprintf("learner %d: %v", rank, r)
+				}
+			}()
+			fn(rank)
+		}(rank)
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+}
+
+// batchesPerEpoch returns the uniform per-learner batch count per
+// collective epoch: every learner executes the same number of minibatches
+// so bulk-synchronous collectives stay aligned even when the data does
+// not split evenly.
+func batchesPerEpoch(shards []*data.Dataset, batch int) int {
+	maxLen := 0
+	for _, s := range shards {
+		if s.Len() > maxLen {
+			maxLen = s.Len()
+		}
+	}
+	return (maxLen + batch - 1) / batch
+}
+
+// simSplits averages the per-learner compute/communication seconds.
+func (c Config) simSplits() (simTime, compute, communication float64) {
+	if c.Sim == nil {
+		return 0, 0, 0
+	}
+	p := c.Learners
+	for rank := 0; rank < p; rank++ {
+		cp, cm := c.Sim.Clock(rank).Split()
+		compute += cp
+		communication += cm
+	}
+	return c.Sim.MaxTime(), compute / float64(p), communication / float64(p)
+}
+
+// stalenessStats accumulates staleness observations from asynchronous
+// learners.
+type stalenessStats struct {
+	count int64
+	sum   int64
+	max   int64
+}
+
+func (s *stalenessStats) observe(v int64) {
+	atomic.AddInt64(&s.count, 1)
+	atomic.AddInt64(&s.sum, v)
+	for {
+		cur := atomic.LoadInt64(&s.max)
+		if v <= cur || atomic.CompareAndSwapInt64(&s.max, cur, v) {
+			return
+		}
+	}
+}
+
+func (s *stalenessStats) mean() float64 {
+	n := atomic.LoadInt64(&s.count)
+	if n == 0 {
+		return 0
+	}
+	return float64(atomic.LoadInt64(&s.sum)) / float64(n)
+}

@@ -1,0 +1,31 @@
+package data_test
+
+import (
+	"fmt"
+
+	"sasgd/internal/data"
+)
+
+// Generate the reduced-scale CIFAR-10 stand-in and partition it across
+// four learners the way every distributed run does.
+func ExampleGenImages() {
+	cfg := data.SmallImageConfig()
+	cfg.TrainN, cfg.TestN = 100, 20
+	train, test := data.GenImages(cfg)
+	shards := train.Partition(4)
+	fmt.Println(train.Len(), test.Len(), len(shards), shards[0].Len())
+	// Output:
+	// 100 20 4 25
+}
+
+// EpochSampler sweeps a dataset once per epoch in shuffled minibatches.
+func ExampleEpochSampler() {
+	s := data.NewEpochSampler(10, 4, 1)
+	total := 0
+	for b := 0; b < s.BatchesPerEpoch(); b++ {
+		total += len(s.Next())
+	}
+	fmt.Println(s.BatchesPerEpoch(), total)
+	// Output:
+	// 3 10
+}

@@ -1,0 +1,11 @@
+package experiments
+
+import "strconv"
+
+// Small formatting helpers shared by the drivers.
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 4, 64) }
+
+func ftoa3(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }

@@ -1,0 +1,160 @@
+// Package model builds the two network architectures the paper evaluates
+// on — the CIFAR-10 convolutional network of Table I and the NLC-F
+// temporal-convolution network of Table II — plus structurally identical
+// reduced-scale variants used by the fast experiment suite, and the
+// parameter/FLOP accounting the fabric simulator charges compute time
+// from.
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sasgd/internal/nn"
+)
+
+// CIFARConfig parameterizes the Table-I convolutional network. Each stage
+// is Conv→ReLU→MaxPool(2,2)→Dropout, followed by Flatten and a fully
+// connected classifier, exactly the published stack; only the sizes vary
+// between the paper-scale and reduced-scale instantiations.
+type CIFARConfig struct {
+	ImageSize int     // square input side (paper: 32)
+	InC       int     // input channels (paper: 3, RGB)
+	Channels  []int   // output feature maps per conv stage (paper: 64,128,256,128)
+	Kernels   []int   // square kernel size per conv stage (paper: 5,3,3,2)
+	Dropout   float64 // drop probability after each pool (paper: 0.5)
+	Classes   int     // output labels (paper: 10)
+}
+
+// PaperCIFARConfig returns the exact Table-I configuration
+// (~0.5M parameters).
+func PaperCIFARConfig() CIFARConfig {
+	return CIFARConfig{
+		ImageSize: 32,
+		InC:       3,
+		Channels:  []int{64, 128, 256, 128},
+		Kernels:   []int{5, 3, 3, 2},
+		Dropout:   0.5,
+		Classes:   10,
+	}
+}
+
+// SmallCIFARConfig returns a reduced-scale network with the same stage
+// structure as Table I, sized so that the distributed-training
+// experiments finish in seconds on a CPU while preserving the
+// convergence phenomena the figures are about.
+func SmallCIFARConfig() CIFARConfig {
+	return CIFARConfig{
+		ImageSize: 8,
+		InC:       3,
+		Channels:  []int{8, 12},
+		Kernels:   []int{3, 2},
+		Dropout:   0.1,
+		Classes:   10,
+	}
+}
+
+// NewCIFARNet builds the Table-I network (or a scaled variant) with
+// parameters initialized from rng.
+func NewCIFARNet(rng *rand.Rand, cfg CIFARConfig) *nn.Network {
+	if len(cfg.Channels) != len(cfg.Kernels) {
+		panic(fmt.Sprintf("model: CIFARConfig has %d channel entries but %d kernel entries", len(cfg.Channels), len(cfg.Kernels)))
+	}
+	var layers []nn.Layer
+	inC := cfg.InC
+	size := cfg.ImageSize
+	for i, outC := range cfg.Channels {
+		k := cfg.Kernels[i]
+		layers = append(layers,
+			nn.NewConv2D(rng, inC, outC, k, k),
+			nn.NewReLU(),
+			nn.NewMaxPool2D(2, 2),
+		)
+		if cfg.Dropout > 0 {
+			layers = append(layers, nn.NewDropout(rng, cfg.Dropout))
+		}
+		size = size - k + 1 // conv, stride 1, no padding
+		if size >= 2 {
+			size /= 2 // pool
+		}
+		inC = outC
+	}
+	layers = append(layers,
+		nn.NewFlatten(),
+		nn.NewLinear(rng, inC*size*size, cfg.Classes),
+	)
+	return nn.NewNetwork([]int{cfg.InC, cfg.ImageSize, cfg.ImageSize}, layers...)
+}
+
+// NLCFConfig parameterizes the Table-II network. The per-word fully
+// connected layer is a window-1 temporal convolution; pooling collapses
+// the time axis; two fully connected layers classify.
+type NLCFConfig struct {
+	SeqLen   int // words per sentence (fixed-length synthetic sentences)
+	EmbedDim int // word2vec embedding width (paper: 100)
+	Hidden1  int // per-word projection (paper: 200)
+	Kernels  int // temporal-conv kernels (paper: 1000)
+	Window   int // temporal-conv window (paper: 2)
+	Hidden2  int // classifier hidden width (paper: 1000)
+	Classes  int // output labels (paper: 311)
+}
+
+// PaperNLCFConfig returns the exact Table-II configuration
+// (~1.7M parameters, "about 2 million" per the paper). SeqLen is 3 so
+// that the published Max-Pooling (2,1) stage collapses the time axis to
+// a single frame, making the 1000×1000 fully connected layer that
+// follows shape-consistent.
+func PaperNLCFConfig() NLCFConfig {
+	return NLCFConfig{
+		SeqLen:   3,
+		EmbedDim: 100,
+		Hidden1:  200,
+		Kernels:  1000,
+		Window:   2,
+		Hidden2:  1000,
+		Classes:  311,
+	}
+}
+
+// SmallNLCFConfig returns a reduced-scale Table-II network for the fast
+// experiment suite.
+func SmallNLCFConfig() NLCFConfig {
+	return NLCFConfig{
+		SeqLen:   3,
+		EmbedDim: 16,
+		Hidden1:  24,
+		Kernels:  32,
+		Window:   2,
+		Hidden2:  32,
+		Classes:  12,
+	}
+}
+
+// NewNLCFNet builds the Table-II network (or a scaled variant) with
+// parameters initialized from rng.
+func NewNLCFNet(rng *rand.Rand, cfg NLCFConfig) *nn.Network {
+	if cfg.SeqLen < cfg.Window {
+		panic(fmt.Sprintf("model: NLCF sequence length %d shorter than conv window %d", cfg.SeqLen, cfg.Window))
+	}
+	convOut := cfg.SeqLen - cfg.Window + 1
+	layers := []nn.Layer{
+		// "Fully connected layer: 100 × 200" applied per word: a
+		// window-1 temporal convolution is exactly a shared per-frame
+		// fully connected layer.
+		nn.NewTemporalConv(rng, cfg.EmbedDim, cfg.Hidden1, 1),
+		nn.NewTanh(),
+		// "Temporal Convolution: (nkern, window size) = (1000, 2)".
+		nn.NewTemporalConv(rng, cfg.Hidden1, cfg.Kernels, cfg.Window),
+		// "Max-Pooling: (height, width) = (2, 1)": pool over time,
+		// collapsing the remaining frames to one.
+		nn.NewTemporalMaxPool(convOut),
+		nn.NewTanh(),
+		nn.NewFlatten(),
+		// "Fully connected layer: 1000 × 1000".
+		nn.NewLinear(rng, cfg.Kernels, cfg.Hidden2),
+		nn.NewTanh(),
+		// "Fully connected layer: 1000 × 311".
+		nn.NewLinear(rng, cfg.Hidden2, cfg.Classes),
+	}
+	return nn.NewNetwork([]int{cfg.SeqLen, cfg.EmbedDim}, layers...)
+}

@@ -1,0 +1,73 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"sasgd/internal/tensor"
+)
+
+func benchInput(shape ...int) *tensor.Tensor {
+	x := tensor.New(shape...)
+	x.FillRandn(rand.New(rand.NewSource(7)), 0, 1)
+	return x
+}
+
+func BenchmarkConv2DForward(b *testing.B) {
+	l := NewConv2D(rand.New(rand.NewSource(1)), 3, 64, 5, 5)
+	x := benchInput(1, 3, 32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Forward(x, true)
+	}
+}
+
+func BenchmarkConv2DBackward(b *testing.B) {
+	l := NewConv2D(rand.New(rand.NewSource(1)), 3, 64, 5, 5)
+	x := benchInput(1, 3, 32, 32)
+	out := l.Forward(x, true)
+	g := benchInput(out.Shape()...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Forward(x, true)
+		l.Backward(g)
+	}
+}
+
+func BenchmarkLinearForward(b *testing.B) {
+	l := NewLinear(rand.New(rand.NewSource(1)), 1000, 1000)
+	x := benchInput(16, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Forward(x, true)
+	}
+}
+
+func BenchmarkTemporalConvForward(b *testing.B) {
+	l := NewTemporalConv(rand.New(rand.NewSource(1)), 200, 1000, 2)
+	x := benchInput(1, 3, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Forward(x, true)
+	}
+}
+
+func BenchmarkSoftmaxCrossEntropy(b *testing.B) {
+	crit := NewSoftmaxCrossEntropy()
+	logits := benchInput(64, 311)
+	labels := make([]int, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		crit.Loss(logits, labels)
+		crit.Backward()
+	}
+}
+
+func BenchmarkDropoutForward(b *testing.B) {
+	l := NewDropout(rand.New(rand.NewSource(1)), 0.5)
+	x := benchInput(64, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Forward(x, true)
+	}
+}

@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Checkpointing: a network's learnable state is its flat parameter
+// vector, so checkpoints are a small framed binary format — magic,
+// version, parameter count, raw float64 parameters, CRC — rather than a
+// reflection-based encoding. A checkpoint written by any replica of a
+// model restores into any other replica of the same architecture (the
+// architectures themselves are code, as in the model zoo).
+
+const (
+	checkpointMagic   = 0x5a534753 // "SGSZ"
+	checkpointVersion = 1
+)
+
+// Save writes the network's parameters to w in the checkpoint format.
+func (n *Network) Save(w io.Writer) error {
+	header := []uint32{checkpointMagic, checkpointVersion, uint32(len(n.flatP))}
+	for _, h := range header {
+		if err := binary.Write(w, binary.LittleEndian, h); err != nil {
+			return fmt.Errorf("nn: writing checkpoint header: %w", err)
+		}
+	}
+	crc := crc32.NewIEEE()
+	buf := make([]byte, 8)
+	for _, v := range n.flatP {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("nn: writing checkpoint parameters: %w", err)
+		}
+		crc.Write(buf)
+	}
+	if err := binary.Write(w, binary.LittleEndian, crc.Sum32()); err != nil {
+		return fmt.Errorf("nn: writing checkpoint checksum: %w", err)
+	}
+	return nil
+}
+
+// Load restores parameters previously written by Save. The checkpoint's
+// parameter count must match this network's architecture exactly.
+func (n *Network) Load(r io.Reader) error {
+	var magic, version, count uint32
+	for _, dst := range []*uint32{&magic, &version, &count} {
+		if err := binary.Read(r, binary.LittleEndian, dst); err != nil {
+			return fmt.Errorf("nn: reading checkpoint header: %w", err)
+		}
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("nn: not a checkpoint (magic %#x)", magic)
+	}
+	if version != checkpointVersion {
+		return fmt.Errorf("nn: unsupported checkpoint version %d", version)
+	}
+	if int(count) != len(n.flatP) {
+		return fmt.Errorf("nn: checkpoint has %d parameters, network has %d", count, len(n.flatP))
+	}
+	crc := crc32.NewIEEE()
+	buf := make([]byte, 8)
+	tmp := make([]float64, count)
+	for i := range tmp {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return fmt.Errorf("nn: reading checkpoint parameters: %w", err)
+		}
+		crc.Write(buf)
+		tmp[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	var sum uint32
+	if err := binary.Read(r, binary.LittleEndian, &sum); err != nil {
+		return fmt.Errorf("nn: reading checkpoint checksum: %w", err)
+	}
+	if sum != crc.Sum32() {
+		return fmt.Errorf("nn: checkpoint checksum mismatch")
+	}
+	copy(n.flatP, tmp)
+	return nil
+}

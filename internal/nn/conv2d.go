@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sasgd/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over (N, C, H, W) inputs, implemented by
+// im2col lowering followed by a matrix multiplication, the same strategy
+// Torch's SpatialConvolutionMM (the paper's substrate) uses. The weight
+// tensor has shape (K, C, KH, KW) and the bias shape (K).
+type Conv2D struct {
+	InC, OutC int
+	Geom      tensor.ConvGeom
+	w, b      *Param
+
+	// retained between Forward and Backward
+	x    *tensor.Tensor
+	cols []*tensor.Tensor // per-sample column matrices
+}
+
+// NewConv2D returns a convolution with nkern output feature maps over
+// nfeat input maps, a kh×kw kernel, stride 1 and no padding — the
+// configuration of every convolutional layer in Tables I and II.
+func NewConv2D(rng *rand.Rand, nfeat, nkern, kh, kw int) *Conv2D {
+	return NewConv2DGeom(rng, nfeat, nkern, tensor.ConvGeom{KH: kh, KW: kw, SH: 1, SW: 1})
+}
+
+// NewConv2DGeom returns a convolution with explicit geometry.
+func NewConv2DGeom(rng *rand.Rand, nfeat, nkern int, g tensor.ConvGeom) *Conv2D {
+	if nfeat <= 0 || nkern <= 0 {
+		panic(fmt.Sprintf("nn: NewConv2D(%d, %d): channel counts must be positive", nfeat, nkern))
+	}
+	c := &Conv2D{
+		InC:  nfeat,
+		OutC: nkern,
+		Geom: g,
+		w:    newParam(fmt.Sprintf("conv%dx%dx%dx%d.w", nfeat, nkern, g.KH, g.KW), nkern, nfeat, g.KH, g.KW),
+		b:    newParam(fmt.Sprintf("conv%dx%dx%dx%d.b", nfeat, nkern, g.KH, g.KW), nkern),
+	}
+	fanIn := nfeat * g.KH * g.KW
+	initFanIn(rng, c.w.Value, fanIn)
+	initFanIn(rng, c.b.Value, fanIn)
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("Conv2D (%d,%d,%d,%d)", c.InC, c.OutC, c.Geom.KH, c.Geom.KW)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(in []int) []int {
+	if len(in) != 3 || in[0] != c.InC {
+		panic(fmt.Sprintf("nn: %s applied to per-sample shape %v", c.Name(), in))
+	}
+	oh, ow := c.Geom.OutSize(in[1], in[2])
+	return []int{c.OutC, oh, ow}
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dims() != 4 || x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: %s forward input shape %v", c.Name(), x.Shape()))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh, ow := c.Geom.OutSize(h, w)
+	kr := c.InC * c.Geom.KH * c.Geom.KW
+	out := tensor.New(n, c.OutC, oh, ow)
+	c.x = x
+	if cap(c.cols) < n {
+		c.cols = make([]*tensor.Tensor, n)
+	}
+	c.cols = c.cols[:n]
+	wmat := c.w.Value.Reshape(c.OutC, kr)
+	perSample := c.InC * h * w
+	outPer := c.OutC * oh * ow
+	for i := 0; i < n; i++ {
+		img := tensor.FromSlice(x.Data[i*perSample:(i+1)*perSample], c.InC, h, w)
+		if c.cols[i] == nil || c.cols[i].Dim(0) != kr || c.cols[i].Dim(1) != oh*ow {
+			c.cols[i] = tensor.New(kr, oh*ow)
+		}
+		tensor.Im2Col(c.cols[i], img, c.Geom)
+		dst := tensor.FromSlice(out.Data[i*outPer:(i+1)*outPer], c.OutC, oh*ow)
+		tensor.MatMul(dst, wmat, c.cols[i])
+		// add bias per output channel
+		for k := 0; k < c.OutC; k++ {
+			bv := c.b.Value.Data[k]
+			row := dst.Data[k*oh*ow : (k+1)*oh*ow]
+			for j := range row {
+				row[j] += bv
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if c.x == nil {
+		panic("nn: Conv2D.Backward before Forward")
+	}
+	x := c.x
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh, ow := c.Geom.OutSize(h, w)
+	if gradOut.Dims() != 4 || gradOut.Dim(0) != n || gradOut.Dim(1) != c.OutC || gradOut.Dim(2) != oh || gradOut.Dim(3) != ow {
+		panic(fmt.Sprintf("nn: %s backward gradient shape %v", c.Name(), gradOut.Shape()))
+	}
+	kr := c.InC * c.Geom.KH * c.Geom.KW
+	perSample := c.InC * h * w
+	outPer := c.OutC * oh * ow
+
+	wmat := c.w.Value.Reshape(c.OutC, kr)
+	dwmat := c.w.Grad.Reshape(c.OutC, kr)
+	c.w.Grad.Zero()
+	c.b.Grad.Zero()
+	gradIn := tensor.New(n, c.InC, h, w)
+	colGrad := tensor.New(kr, oh*ow)
+	for i := 0; i < n; i++ {
+		gout := tensor.FromSlice(gradOut.Data[i*outPer:(i+1)*outPer], c.OutC, oh*ow)
+		// dW += gout (K×P) · colsᵀ (P×kr)  — accumulate across the batch.
+		tensor.MatMulAccTransB(dwmat, gout, c.cols[i])
+		// db += row sums of gout
+		for k := 0; k < c.OutC; k++ {
+			s := 0.0
+			row := gout.Data[k*oh*ow : (k+1)*oh*ow]
+			for _, g := range row {
+				s += g
+			}
+			c.b.Grad.Data[k] += s
+		}
+		// dcols = Wᵀ (kr×K) · gout (K×P)
+		tensor.MatMulTransA(colGrad, wmat, gout)
+		gin := tensor.FromSlice(gradIn.Data[i*perSample:(i+1)*perSample], c.InC, h, w)
+		tensor.Col2Im(gin, colGrad, c.Geom)
+	}
+	c.x = nil
+	return gradIn
+}

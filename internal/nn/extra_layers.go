@@ -1,0 +1,164 @@
+package nn
+
+import (
+	"fmt"
+
+	"sasgd/internal/tensor"
+)
+
+// The paper's two networks only need ReLU/Tanh and max pooling, but a
+// training library is expected to carry the rest of the Torch-era
+// standard kit; Sigmoid and AvgPool2D round out the activation and
+// pooling families and are gradient-checked like every other layer.
+
+// Sigmoid is the logistic activation 1/(1+e^{-x}).
+type Sigmoid struct {
+	out []float64
+}
+
+// NewSigmoid returns a Sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Name implements Layer.
+func (*Sigmoid) Name() string { return "Sigmoid" }
+
+// Params implements Layer.
+func (*Sigmoid) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (*Sigmoid) OutShape(in []int) []int { return in }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	for i, v := range x.Data {
+		out.Data[i] = 1 / (1 + expFloat(-v))
+	}
+	s.out = append(s.out[:0], out.Data...)
+	return out
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if len(gradOut.Data) != len(s.out) {
+		panic("nn: Sigmoid.Backward called with mismatched gradient size")
+	}
+	in := tensor.New(gradOut.Shape()...)
+	for i, g := range gradOut.Data {
+		y := s.out[i]
+		in.Data[i] = g * y * (1 - y)
+	}
+	return in
+}
+
+// AvgPool2D averages over kh×kw windows of (N, C, H, W) inputs with
+// stride equal to the window, clamping the window at the borders the
+// same way MaxPool2D does.
+type AvgPool2D struct {
+	KH, KW   int
+	inShape  []int
+	ekh, ekw int // effective (clamped) window of the last forward
+}
+
+// NewAvgPool2D returns an average pooling layer with a kh×kw window and
+// stride equal to the window.
+func NewAvgPool2D(kh, kw int) *AvgPool2D {
+	if kh <= 0 || kw <= 0 {
+		panic(fmt.Sprintf("nn: NewAvgPool2D(%d, %d): window must be positive", kh, kw))
+	}
+	return &AvgPool2D{KH: kh, KW: kw}
+}
+
+// Name implements Layer.
+func (p *AvgPool2D) Name() string { return fmt.Sprintf("AvgPool2D (%d,%d)", p.KH, p.KW) }
+
+// Params implements Layer.
+func (*AvgPool2D) Params() []*Param { return nil }
+
+func (p *AvgPool2D) clamped(h, w int) (kh, kw int) {
+	kh, kw = p.KH, p.KW
+	if kh > h {
+		kh = h
+	}
+	if kw > w {
+		kw = w
+	}
+	return kh, kw
+}
+
+// OutShape implements Layer.
+func (p *AvgPool2D) OutShape(in []int) []int {
+	if len(in) != 3 {
+		panic(fmt.Sprintf("nn: %s applied to per-sample shape %v", p.Name(), in))
+	}
+	kh, kw := p.clamped(in[1], in[2])
+	return []int{in[0], (in[1]-kh)/kh + 1, (in[2]-kw)/kw + 1}
+}
+
+// Forward implements Layer.
+func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dims() != 4 {
+		panic(fmt.Sprintf("nn: %s forward input shape %v", p.Name(), x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	kh, kw := p.clamped(h, w)
+	oh, ow := (h-kh)/kh+1, (w-kw)/kw+1
+	p.inShape = append(p.inShape[:0], n, c, h, w)
+	p.ekh, p.ekw = kh, kw
+	out := tensor.New(n, c, oh, ow)
+	inv := 1 / float64(kh*kw)
+	oi := 0
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					s := 0.0
+					for dy := 0; dy < kh; dy++ {
+						row := base + (oy*kh+dy)*w + ox*kw
+						for dx := 0; dx < kw; dx++ {
+							s += x.Data[row+dx]
+						}
+					}
+					out.Data[oi] = s * inv
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *AvgPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if len(p.inShape) == 0 {
+		panic("nn: AvgPool2D.Backward before Forward")
+	}
+	n, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
+	kh, kw := p.ekh, p.ekw
+	oh, ow := (h-kh)/kh+1, (w-kw)/kw+1
+	if gradOut.Size() != n*c*oh*ow {
+		panic(fmt.Sprintf("nn: %s backward gradient size %d, want %d", p.Name(), gradOut.Size(), n*c*oh*ow))
+	}
+	in := tensor.New(p.inShape...)
+	inv := 1 / float64(kh*kw)
+	oi := 0
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := gradOut.Data[oi] * inv
+					oi++
+					for dy := 0; dy < kh; dy++ {
+						row := base + (oy*kh+dy)*w + ox*kw
+						for dx := 0; dx < kw; dx++ {
+							in.Data[row+dx] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return in
+}

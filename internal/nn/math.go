@@ -1,0 +1,18 @@
+package nn
+
+import "math"
+
+// Thin wrappers over math so the rest of the package reads without the
+// math qualifier in hot paths and tests can reference the exact functions
+// the layers use.
+
+func expFloat(v float64) float64  { return math.Exp(v) }
+func sqrtFloat(v float64) float64 { return math.Sqrt(v) }
+func logFloat(v float64) float64  { return math.Log(v) }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

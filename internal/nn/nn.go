@@ -1,0 +1,214 @@
+// Package nn implements the neural-network substrate the paper's
+// experiments run on: the layers of the CIFAR-10 convolutional network
+// (Table I) and the NLC-F temporal-convolution network (Table II), a
+// sequential container with manual backpropagation, a softmax
+// cross-entropy loss, and parameter flattening so that distributed
+// optimizers and collectives can treat a model as a single contiguous
+// vector of parameters and a matching vector of gradients.
+//
+// Conventions: the leading tensor dimension is always the minibatch.
+// Images are (N, C, H, W); vectors are (N, D); sequences are (N, L, D).
+// Layers own their parameters; Network.Bind relocates all parameter and
+// gradient storage into two flat []float64 buffers (views are rebound,
+// values preserved) so that a whole model's parameters can be broadcast,
+// allreduced, or pushed to a parameter server with a single slice
+// operation and no copying.
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sasgd/internal/tensor"
+)
+
+// Param is one learnable tensor together with the gradient accumulated
+// for it by the most recent backward pass.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+func newParam(name string, shape ...int) *Param {
+	return &Param{Name: name, Value: tensor.New(shape...), Grad: tensor.New(shape...)}
+}
+
+// Layer is one differentiable stage of a network.
+//
+// Forward consumes the previous layer's output and returns this layer's
+// output; when train is false, stochastic layers (Dropout) run in
+// inference mode. Backward consumes dL/d(output) and returns dL/d(input),
+// accumulating dL/d(param) into the layer's Param.Grad tensors (layers
+// overwrite, not accumulate, their gradients: one backward pass per
+// forward pass). Layers may retain references to the tensors passed to
+// Forward until the matching Backward completes.
+type Layer interface {
+	// Name returns a short human-readable identifier used in the
+	// architecture tables and error messages.
+	Name() string
+	// Forward runs the layer on a minibatch.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward propagates the output gradient to the input gradient and
+	// fills in parameter gradients.
+	Backward(gradOut *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's learnable parameters (possibly empty).
+	Params() []*Param
+	// OutShape returns the per-sample output shape for a given per-sample
+	// input shape; used for architecture validation and FLOP counting.
+	OutShape(in []int) []int
+}
+
+// ReLU is the rectified-linear activation max(0, x).
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (*ReLU) Name() string { return "ReLU" }
+
+// Params implements Layer.
+func (*ReLU) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (*ReLU) OutShape(in []int) []int { return in }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if len(gradOut.Data) != len(r.mask) {
+		panic("nn: ReLU.Backward called with mismatched gradient size")
+	}
+	in := tensor.New(gradOut.Shape()...)
+	for i, g := range gradOut.Data {
+		if r.mask[i] {
+			in.Data[i] = g
+		}
+	}
+	return in
+}
+
+// Tanh is the hyperbolic-tangent activation used by the NLC-F network.
+type Tanh struct {
+	out []float64
+}
+
+// NewTanh returns a Tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Name implements Layer.
+func (*Tanh) Name() string { return "Tanh" }
+
+// Params implements Layer.
+func (*Tanh) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (*Tanh) OutShape(in []int) []int { return in }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	for i, v := range x.Data {
+		out.Data[i] = tanh(v)
+	}
+	t.out = append(t.out[:0], out.Data...)
+	return out
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if len(gradOut.Data) != len(t.out) {
+		panic("nn: Tanh.Backward called with mismatched gradient size")
+	}
+	in := tensor.New(gradOut.Shape()...)
+	for i, g := range gradOut.Data {
+		y := t.out[i]
+		in.Data[i] = g * (1 - y*y)
+	}
+	return in
+}
+
+func tanh(v float64) float64 {
+	// math.Tanh is accurate but comparatively slow; training spends a
+	// measurable fraction of time here for the Table-II network, so use a
+	// clamped exponential formulation.
+	if v > 20 {
+		return 1
+	}
+	if v < -20 {
+		return -1
+	}
+	e := exp2x(v)
+	return (e - 1) / (e + 1)
+}
+
+func exp2x(v float64) float64 {
+	// exp(2v) via the standard library; kept separate so tests can probe it.
+	return expFloat(2 * v)
+}
+
+// Flatten reshapes (N, ...) to (N, prod(...)); it is a pure view change
+// with an identity backward.
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (*Flatten) Name() string { return "Flatten" }
+
+// Params implements Layer.
+func (*Flatten) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (*Flatten) OutShape(in []int) []int {
+	n := 1
+	for _, d := range in {
+		n *= d
+	}
+	return []int{n}
+}
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = append(f.inShape[:0], x.Shape()...)
+	n := x.Dim(0)
+	return x.Reshape(n, x.Size()/max(n, 1))
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	return gradOut.Reshape(f.inShape...)
+}
+
+// initFanIn fills w with the scaled-uniform initialization Torch's
+// nn.Linear and nn.SpatialConvolution use: U(-s, s) with s = 1/sqrt(fanIn).
+func initFanIn(rng *rand.Rand, w *tensor.Tensor, fanIn int) {
+	if fanIn <= 0 {
+		panic(fmt.Sprintf("nn: invalid fan-in %d", fanIn))
+	}
+	s := 1.0 / sqrtFloat(float64(fanIn))
+	w.FillUniform(rng, -s, s)
+}

@@ -1,0 +1,84 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMat(b *testing.B, n int) (*Tensor, *Tensor, *Tensor) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	a, bb, c := New(n, n), New(n, n), New(n, n)
+	a.FillRandn(rng, 0, 1)
+	bb.FillRandn(rng, 0, 1)
+	return a, bb, c
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	a, x, c := benchMat(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(c, a, x)
+	}
+}
+
+func BenchmarkMatMul256(b *testing.B) {
+	a, x, c := benchMat(b, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(c, a, x)
+	}
+}
+
+func BenchmarkMatMulTransA128(b *testing.B) {
+	a, x, c := benchMat(b, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransA(c, a, x)
+	}
+}
+
+func BenchmarkMatMulTransB128(b *testing.B) {
+	a, x, c := benchMat(b, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransB(c, a, x)
+	}
+}
+
+func BenchmarkAxpy(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := New(1_000_000), New(1_000_000)
+	x.FillRandn(rng, 0, 1)
+	b.SetBytes(2 * 1_000_000 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Axpy(0.5, x.Data, y.Data)
+	}
+}
+
+func BenchmarkIm2ColCIFARFirstLayer(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	img := New(3, 32, 32)
+	img.FillRandn(rng, 0, 1)
+	g := ConvGeom{KH: 5, KW: 5, SH: 1, SW: 1}
+	oh, ow := g.OutSize(32, 32)
+	cols := New(3*25, oh*ow)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2Col(cols, img, g)
+	}
+}
+
+func BenchmarkCol2ImCIFARFirstLayer(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := ConvGeom{KH: 5, KW: 5, SH: 1, SW: 1}
+	oh, ow := g.OutSize(32, 32)
+	cols := New(3*25, oh*ow)
+	cols.FillRandn(rng, 0, 1)
+	dst := New(3, 32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Col2Im(dst, cols, g)
+	}
+}

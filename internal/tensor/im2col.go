@@ -1,0 +1,121 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling window:
+// kernel size, stride, and zero padding. The same geometry type is shared
+// by the convolution and pooling layers so that output-size arithmetic
+// lives in one place.
+type ConvGeom struct {
+	KH, KW int // kernel height and width
+	SH, SW int // stride
+	PH, PW int // zero padding on each side
+}
+
+// OutSize returns the spatial output size for an input of h×w, or panics
+// if the geometry does not fit.
+func (g ConvGeom) OutSize(h, w int) (oh, ow int) {
+	if g.KH <= 0 || g.KW <= 0 || g.SH <= 0 || g.SW <= 0 {
+		panic(fmt.Sprintf("tensor: invalid conv geometry %+v", g))
+	}
+	oh = (h+2*g.PH-g.KH)/g.SH + 1
+	ow = (w+2*g.PW-g.KW)/g.SW + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: conv geometry %+v does not fit input %dx%d", g, h, w))
+	}
+	return oh, ow
+}
+
+// Im2Col lowers a (C,H,W) image into a (C*KH*KW, OH*OW) column matrix so
+// that convolution becomes a single matrix multiplication. dst must be
+// preallocated with that shape. Padding reads as zero.
+func Im2Col(dst, img *Tensor, g ConvGeom) {
+	if img.Dims() != 3 {
+		panic("tensor: Im2Col needs a (C,H,W) input")
+	}
+	c, h, w := img.shape[0], img.shape[1], img.shape[2]
+	oh, ow := g.OutSize(h, w)
+	rows := c * g.KH * g.KW
+	cols := oh * ow
+	if dst.Dims() != 2 || dst.shape[0] != rows || dst.shape[1] != cols {
+		panic(fmt.Sprintf("tensor: Im2Col destination shape %v, want [%d %d]", dst.shape, rows, cols))
+	}
+	d := dst.Data
+	src := img.Data
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * h * w
+		for ky := 0; ky < g.KH; ky++ {
+			for kx := 0; kx < g.KW; kx++ {
+				out := d[row*cols : row*cols+cols]
+				i := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.SH - g.PH + ky
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < ow; ox++ {
+							out[i] = 0
+							i++
+						}
+						continue
+					}
+					rowBase := chBase + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.SW - g.PW + kx
+						if ix < 0 || ix >= w {
+							out[i] = 0
+						} else {
+							out[i] = src[rowBase+ix]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// Col2Im scatters a (C*KH*KW, OH*OW) column-gradient matrix back into a
+// (C,H,W) image gradient, accumulating where windows overlap. dst is
+// overwritten (zeroed first).
+func Col2Im(dst, cols *Tensor, g ConvGeom) {
+	if dst.Dims() != 3 {
+		panic("tensor: Col2Im needs a (C,H,W) destination")
+	}
+	c, h, w := dst.shape[0], dst.shape[1], dst.shape[2]
+	oh, ow := g.OutSize(h, w)
+	rows := c * g.KH * g.KW
+	nc := oh * ow
+	if cols.Dims() != 2 || cols.shape[0] != rows || cols.shape[1] != nc {
+		panic(fmt.Sprintf("tensor: Col2Im source shape %v, want [%d %d]", cols.shape, rows, nc))
+	}
+	dst.Zero()
+	d := dst.Data
+	src := cols.Data
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * h * w
+		for ky := 0; ky < g.KH; ky++ {
+			for kx := 0; kx < g.KW; kx++ {
+				in := src[row*nc : row*nc+nc]
+				i := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.SH - g.PH + ky
+					if iy < 0 || iy >= h {
+						i += ow
+						continue
+					}
+					rowBase := chBase + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.SW - g.PW + kx
+						if ix >= 0 && ix < w {
+							d[rowBase+ix] += in[i]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvGeomOutSize(t *testing.T) {
+	cases := []struct {
+		g      ConvGeom
+		h, w   int
+		oh, ow int
+	}{
+		{ConvGeom{KH: 5, KW: 5, SH: 1, SW: 1}, 32, 32, 28, 28},
+		{ConvGeom{KH: 3, KW: 3, SH: 1, SW: 1}, 14, 14, 12, 12},
+		{ConvGeom{KH: 2, KW: 2, SH: 2, SW: 2}, 8, 8, 4, 4},
+		{ConvGeom{KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1}, 8, 8, 8, 8},
+	}
+	for _, c := range cases {
+		oh, ow := c.g.OutSize(c.h, c.w)
+		if oh != c.oh || ow != c.ow {
+			t.Errorf("OutSize(%+v, %d, %d) = (%d, %d), want (%d, %d)", c.g, c.h, c.w, oh, ow, c.oh, c.ow)
+		}
+	}
+}
+
+func TestConvGeomDoesNotFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OutSize for oversized kernel did not panic")
+		}
+	}()
+	ConvGeom{KH: 5, KW: 5, SH: 1, SW: 1}.OutSize(3, 3)
+}
+
+func TestIm2ColKnownValues(t *testing.T) {
+	// 1 channel, 3x3 image, 2x2 kernel, stride 1: 4 output positions.
+	img := FromSlice([]float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 3, 3)
+	g := ConvGeom{KH: 2, KW: 2, SH: 1, SW: 1}
+	cols := New(4, 4)
+	Im2Col(cols, img, g)
+	// Row r corresponds to kernel offset (ky,kx); column c to output (oy,ox).
+	want := [][]float64{
+		{1, 2, 4, 5}, // ky=0,kx=0
+		{2, 3, 5, 6}, // ky=0,kx=1
+		{4, 5, 7, 8}, // ky=1,kx=0
+		{5, 6, 8, 9}, // ky=1,kx=1
+	}
+	for r := range want {
+		for c := range want[r] {
+			if cols.At(r, c) != want[r][c] {
+				t.Fatalf("Im2Col[%d][%d] = %g, want %g\n%v", r, c, cols.At(r, c), want[r][c], cols.Data)
+			}
+		}
+	}
+}
+
+func TestIm2ColPaddingReadsZero(t *testing.T) {
+	img := Full(1, 1, 2, 2)
+	g := ConvGeom{KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1}
+	oh, ow := g.OutSize(2, 2)
+	cols := New(9, oh*ow)
+	Im2Col(cols, img, g)
+	// Top-left output position, kernel offset (0,0) reads padding.
+	if cols.At(0, 0) != 0 {
+		t.Error("padding position not zero")
+	}
+	// Center of the kernel at output (0,0) reads img(0,0)=1.
+	if cols.At(4, 0) != 1 {
+		t.Error("center position wrong")
+	}
+}
+
+// Property: Col2Im(Im2Col(x)) with non-overlapping windows (stride ==
+// kernel) reconstructs x exactly where windows cover it.
+func TestIm2ColCol2ImRoundTripNonOverlapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	img := New(2, 4, 4)
+	img.FillRandn(rng, 0, 1)
+	g := ConvGeom{KH: 2, KW: 2, SH: 2, SW: 2}
+	cols := New(2*2*2, 4)
+	Im2Col(cols, img, g)
+	back := New(2, 4, 4)
+	Col2Im(back, cols, g)
+	if !back.Equal(img, 1e-12) {
+		t.Error("non-overlapping Im2Col/Col2Im round trip failed")
+	}
+}
+
+// Property: Col2Im accumulates overlap counts — scattering an all-ones
+// column matrix yields each pixel's window membership count.
+func TestCol2ImOverlapCounts(t *testing.T) {
+	g := ConvGeom{KH: 2, KW: 2, SH: 1, SW: 1}
+	oh, ow := g.OutSize(3, 3)
+	cols := Full(1, 4, oh*ow)
+	dst := New(1, 3, 3)
+	Col2Im(dst, cols, g)
+	want := []float64{
+		1, 2, 1,
+		2, 4, 2,
+		1, 2, 1,
+	}
+	for i, w := range want {
+		if dst.Data[i] != w {
+			t.Fatalf("overlap counts = %v, want %v", dst.Data, want)
+		}
+	}
+}
+
+// Property: <Im2Col(x), w-cols> == <x, Col2Im(w-cols)> (adjointness),
+// which is exactly what conv backward relies on.
+func TestIm2ColCol2ImAdjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, h, w := 1+rng.Intn(3), 3+rng.Intn(4), 3+rng.Intn(4)
+		g := ConvGeom{KH: 1 + rng.Intn(3), KW: 1 + rng.Intn(3), SH: 1, SW: 1}
+		oh, ow := g.OutSize(h, w)
+		rows := c * g.KH * g.KW
+
+		x := New(c, h, w)
+		x.FillRandn(rng, 0, 1)
+		y := New(rows, oh*ow)
+		y.FillRandn(rng, 0, 1)
+
+		ax := New(rows, oh*ow)
+		Im2Col(ax, x, g)
+		aty := New(c, h, w)
+		Col2Im(aty, y, g)
+
+		lhs := ax.Dot(y)
+		rhs := x.Dot(aty)
+		return abs(lhs-rhs) < 1e-9*(1+abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,163 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n), writing
+// into dst (m×n) which must be preallocated with the right shape. dst is
+// overwritten, not accumulated into. The kernel is a cache-friendly
+// ikj-ordered triple loop: the inner loop runs over contiguous rows of B
+// and C so it vectorizes.
+func MatMul(dst, a, b *Tensor) {
+	m, k, n := checkMatMulShapes(dst, a, b)
+	c := dst.Data
+	for i := range c {
+		c[i] = 0
+	}
+	matmulAcc(c, a.Data, b.Data, m, k, n)
+}
+
+// MatMulAcc computes C += A·B with the same shape rules as MatMul.
+func MatMulAcc(dst, a, b *Tensor) {
+	m, k, n := checkMatMulShapes(dst, a, b)
+	matmulAcc(dst.Data, a.Data, b.Data, m, k, n)
+}
+
+func checkMatMulShapes(dst, a, b *Tensor) (m, k, n int) {
+	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs 2-D operands, got %v·%v -> %v", a.shape, b.shape, dst.shape))
+	}
+	m, k = a.shape[0], a.shape[1]
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v · %v", a.shape, b.shape))
+	}
+	n = b.shape[1]
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMul destination shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	return m, k, n
+}
+
+func matmulAcc(c, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ci := c[i*n : i*n+n]
+		ai := a[i*k : i*k+k]
+		for l := 0; l < k; l++ {
+			av := ai[l]
+			if av == 0 {
+				continue
+			}
+			bl := b[l*n : l*n+n]
+			for j, bv := range bl {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransA computes C = Aᵀ·B where A is k×m, B is k×n, C is m×n.
+// Used in backward passes to form weight gradients without materializing
+// the transpose.
+func MatMulTransA(dst, a, b *Tensor) {
+	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
+		panic("tensor: MatMulTransA needs 2-D operands")
+	}
+	k, m := a.shape[0], a.shape[1]
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %v ᵀ· %v", a.shape, b.shape))
+	}
+	n := b.shape[1]
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransA destination shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	c := dst.Data
+	for i := range c {
+		c[i] = 0
+	}
+	// C[i,j] = sum_l A[l,i] * B[l,j]; iterate l outermost so both B and C
+	// rows stream contiguously.
+	for l := 0; l < k; l++ {
+		al := a.Data[l*m : l*m+m]
+		bl := b.Data[l*n : l*n+n]
+		for i, av := range al {
+			if av == 0 {
+				continue
+			}
+			ci := c[i*n : i*n+n]
+			for j, bv := range bl {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransB computes C = A·Bᵀ where A is m×k, B is n×k, C is m×n.
+// Used in backward passes to propagate gradients through linear layers.
+func MatMulTransB(dst, a, b *Tensor) {
+	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
+		panic("tensor: MatMulTransB needs 2-D operands")
+	}
+	m, k := a.shape[0], a.shape[1]
+	if b.shape[1] != k {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v · %v ᵀ", a.shape, b.shape))
+	}
+	n := b.shape[0]
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransB destination shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : i*k+k]
+		ci := dst.Data[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			bj := b.Data[j*k : j*k+k]
+			s := 0.0
+			for l, av := range ai {
+				s += av * bj[l]
+			}
+			ci[j] = s
+		}
+	}
+}
+
+// MatMulAccTransB computes C += A·Bᵀ where A is m×k, B is n×k, C is m×n.
+// Used by Conv2D backward to accumulate weight gradients across a batch.
+func MatMulAccTransB(dst, a, b *Tensor) {
+	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
+		panic("tensor: MatMulAccTransB needs 2-D operands")
+	}
+	m, k := a.shape[0], a.shape[1]
+	if b.shape[1] != k {
+		panic(fmt.Sprintf("tensor: MatMulAccTransB inner dimension mismatch %v · %v ᵀ", a.shape, b.shape))
+	}
+	n := b.shape[0]
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulAccTransB destination shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : i*k+k]
+		ci := dst.Data[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			bj := b.Data[j*k : j*k+k]
+			s := 0.0
+			for l, av := range ai {
+				s += av * bj[l]
+			}
+			ci[j] += s
+		}
+	}
+}
+
+// Transpose2D returns a new tensor holding the transpose of the 2-D
+// tensor t.
+func Transpose2D(t *Tensor) *Tensor {
+	if t.Dims() != 2 {
+		panic("tensor: Transpose2D needs a 2-D tensor")
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = t.Data[i*n+j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveMatMul is the reference implementation all kernels are tested
+// against.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for l := 0; l < k; l++ {
+				s += a.At(i, l) * b.At(l, j)
+			}
+			c.Set(s, i, j)
+		}
+	}
+	return c
+}
+
+func randMat(rng *rand.Rand, m, n int) *Tensor {
+	t := New(m, n)
+	t.FillRandn(rng, 0, 1)
+	return t
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {5, 7, 3}, {8, 8, 8}, {1, 10, 1}, {13, 1, 6}} {
+		a := randMat(rng, dims[0], dims[1])
+		b := randMat(rng, dims[1], dims[2])
+		got := New(dims[0], dims[2])
+		MatMul(got, a, b)
+		want := naiveMatMul(a, b)
+		if !got.Equal(want, 1e-10) {
+			t.Errorf("MatMul %v: mismatch", dims)
+		}
+	}
+}
+
+func TestMatMulOverwritesDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a, b := randMat(rng, 3, 3), randMat(rng, 3, 3)
+	got := Full(99, 3, 3)
+	MatMul(got, a, b)
+	if !got.Equal(naiveMatMul(a, b), 1e-10) {
+		t.Error("MatMul did not overwrite destination")
+	}
+}
+
+func TestMatMulAcc(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, b := randMat(rng, 4, 2), randMat(rng, 2, 5)
+	got := Full(1, 4, 5)
+	MatMulAcc(got, a, b)
+	want := naiveMatMul(a, b)
+	for i := range want.Data {
+		want.Data[i]++
+	}
+	if !got.Equal(want, 1e-10) {
+		t.Error("MatMulAcc did not accumulate")
+	}
+}
+
+func TestMatMulTransA(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, dims := range [][3]int{{3, 4, 5}, {1, 2, 3}, {7, 7, 7}} {
+		k, m, n := dims[0], dims[1], dims[2]
+		a := randMat(rng, k, m) // Aᵀ is m×k
+		b := randMat(rng, k, n)
+		got := New(m, n)
+		MatMulTransA(got, a, b)
+		want := naiveMatMul(Transpose2D(a), b)
+		if !got.Equal(want, 1e-10) {
+			t.Errorf("MatMulTransA %v: mismatch", dims)
+		}
+	}
+}
+
+func TestMatMulTransB(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dims := range [][3]int{{3, 4, 5}, {2, 1, 2}, {6, 8, 4}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randMat(rng, m, k)
+		b := randMat(rng, n, k) // Bᵀ is k×n
+		got := New(m, n)
+		MatMulTransB(got, a, b)
+		want := naiveMatMul(a, Transpose2D(b))
+		if !got.Equal(want, 1e-10) {
+			t.Errorf("MatMulTransB %v: mismatch", dims)
+		}
+	}
+}
+
+func TestMatMulAccTransB(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randMat(rng, 3, 4)
+	b := randMat(rng, 5, 4)
+	got := Full(2, 3, 5)
+	MatMulAccTransB(got, a, b)
+	want := naiveMatMul(a, Transpose2D(b))
+	for i := range want.Data {
+		want.Data[i] += 2
+	}
+	if !got.Equal(want, 1e-10) {
+		t.Error("MatMulAccTransB mismatch")
+	}
+}
+
+func TestTranspose2D(t *testing.T) {
+	m := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	tr := Transpose2D(m)
+	if tr.Dim(0) != 3 || tr.Dim(1) != 2 {
+		t.Fatalf("Transpose2D shape %v", tr.Shape())
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Errorf("Transpose2D values wrong: %v", tr.Data)
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	a, b := New(2, 3), New(4, 5)
+	dst := New(2, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatMul with mismatched inner dims did not panic")
+		}
+	}()
+	MatMul(dst, a, b)
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ, relating all the kernels.
+func TestMatMulTransposeIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a, b := randMat(rng, m, k), randMat(rng, k, n)
+		ab := New(m, n)
+		MatMul(ab, a, b)
+		btat := naiveMatMul(Transpose2D(b), Transpose2D(a))
+		return Transpose2D(ab).Equal(btat, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,149 @@
+package theory
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper derives Figure 3's learning rate by *estimating* the
+// analysis constants on the actual workload: "We estimate the Lipschitz
+// constant L and an upper bound on gradient variance σ² for CIFAR-10.
+// We bound Df as f(x₁)". This file implements that estimation procedure
+// against an abstract gradient oracle so it works for any model/dataset
+// pair (internal/experiments adapts a core.Problem to the oracle).
+
+// GradientOracle exposes the operations the estimators need. All methods
+// operate on the oracle's current parameter vector.
+type GradientOracle struct {
+	// Dim is the parameter count.
+	Dim int
+	// Loss returns the full-batch objective f(x) at parameters x.
+	Loss func(x []float64) float64
+	// FullGrad writes ∇f(x) (full-batch gradient) into out.
+	FullGrad func(x, out []float64)
+	// SampleGrad writes G(x, z) for one freshly drawn random minibatch z
+	// into out.
+	SampleGrad func(x, out []float64)
+	// Init returns the initial parameter vector x₁ (copied by callers).
+	Init func() []float64
+	// Perturb returns a random unit direction for Lipschitz probing.
+	Perturb func() []float64
+}
+
+func (o *GradientOracle) validate() {
+	if o == nil || o.Dim <= 0 || o.Loss == nil || o.FullGrad == nil || o.SampleGrad == nil || o.Init == nil || o.Perturb == nil {
+		panic("theory: incomplete gradient oracle")
+	}
+}
+
+// EstimateOptions controls the sampling effort of EstimateConstants.
+type EstimateOptions struct {
+	// VarianceSamples is the number of minibatch gradients drawn to
+	// estimate σ² (default 16).
+	VarianceSamples int
+	// LipschitzProbes is the number of random directions used to lower-
+	// bound L by secant slopes ‖∇f(x+εu) − ∇f(x)‖ / ε (default 8).
+	LipschitzProbes int
+	// ProbeStep is the perturbation radius ε (default 1e-2).
+	ProbeStep float64
+}
+
+func (e EstimateOptions) withDefaults() EstimateOptions {
+	if e.VarianceSamples <= 0 {
+		e.VarianceSamples = 16
+	}
+	if e.LipschitzProbes <= 0 {
+		e.LipschitzProbes = 8
+	}
+	if e.ProbeStep <= 0 {
+		e.ProbeStep = 1e-2
+	}
+	return e
+}
+
+// EstimateConstants measures the analysis constants the way the paper
+// does:
+//
+//   - Df is bounded by f(x₁) (valid whenever f ≥ 0, as for cross-entropy).
+//   - σ² is the empirical mean of ‖G(x₁, z) − ∇f(x₁)‖² over fresh
+//     minibatches z.
+//   - L is lower-bounded by the largest observed secant slope of the
+//     gradient along random directions at x₁ (an estimate, as in the
+//     paper — the true constant is not computable for deep networks).
+//
+// M must be the minibatch size SampleGrad draws, so the returned
+// Constants plug directly into the bounds.
+func EstimateConstants(o *GradientOracle, m int, opt EstimateOptions) Constants {
+	o.validate()
+	if m <= 0 {
+		panic(fmt.Sprintf("theory: EstimateConstants needs a positive minibatch size, got %d", m))
+	}
+	opt = opt.withDefaults()
+	x := o.Init()
+	if len(x) != o.Dim {
+		panic("theory: oracle Init length does not match Dim")
+	}
+
+	// Df ≤ f(x₁) for non-negative objectives.
+	df := o.Loss(x)
+	if df <= 0 {
+		// A perfectly fit (or degenerate) starting point; keep the bound
+		// positive so downstream formulas stay defined.
+		df = 1e-12
+	}
+
+	// σ²: variance of the minibatch gradient around the full gradient.
+	full := make([]float64, o.Dim)
+	o.FullGrad(x, full)
+	g := make([]float64, o.Dim)
+	sigma2 := 0.0
+	for s := 0; s < opt.VarianceSamples; s++ {
+		o.SampleGrad(x, g)
+		d2 := 0.0
+		for i := range g {
+			d := g[i] - full[i]
+			d2 += d * d
+		}
+		sigma2 += d2
+	}
+	sigma2 /= float64(opt.VarianceSamples)
+	if sigma2 <= 0 {
+		sigma2 = 1e-12
+	}
+
+	// L: max secant slope of ∇f along random unit directions.
+	l := 0.0
+	xp := make([]float64, o.Dim)
+	gp := make([]float64, o.Dim)
+	for probe := 0; probe < opt.LipschitzProbes; probe++ {
+		u := o.Perturb()
+		if len(u) != o.Dim {
+			panic("theory: oracle Perturb length does not match Dim")
+		}
+		norm := 0.0
+		for _, v := range u {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		for i := range xp {
+			xp[i] = x[i] + opt.ProbeStep*u[i]/norm
+		}
+		o.FullGrad(xp, gp)
+		diff := 0.0
+		for i := range gp {
+			d := gp[i] - full[i]
+			diff += d * d
+		}
+		if slope := math.Sqrt(diff) / opt.ProbeStep; slope > l {
+			l = slope
+		}
+	}
+	if l <= 0 {
+		l = 1e-12
+	}
+
+	return Constants{Df: df, L: l, Sigma2: sigma2, M: m}
+}

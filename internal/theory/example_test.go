@@ -1,0 +1,38 @@
+package theory_test
+
+import (
+	"fmt"
+
+	"sasgd/internal/theory"
+)
+
+// The paper's Theorem 1 example: with p = 32 learners and α ≈ 16 (about
+// 50 CIFAR-10 epochs), the optimal ASGD guarantee is about twice as far
+// from optimal as the sequential one.
+func ExampleGapFactor() {
+	gap := theory.GapFactor(32, 16)
+	fmt.Printf("p=32, alpha=16: guarantee gap = %.2f (Theorem 1 predicts ~= p/alpha = 2)\n", gap)
+	// Output:
+	// p=32, alpha=16: guarantee gap = 2.15 (Theorem 1 predicts ~= p/alpha = 2)
+}
+
+// OptimalC solves the Equation-7 cubic for the best normalized learning
+// rate under the Equation-2 feasibility constraint.
+func ExampleOptimalC() {
+	c1 := theory.OptimalC(1, 16)
+	c32 := theory.OptimalC(32, 16)
+	fmt.Printf("c*(p=1) = %.3f, c*(p=32) = %.3f\n", c1, c32)
+	// Output:
+	// c*(p=1) = 1.236, c*(p=32) = 0.350
+}
+
+// Theorem 4 in action: at a fixed sample budget, the best achievable
+// SASGD guarantee worsens as the aggregation interval T grows.
+func ExampleBestSASGDBound() {
+	c := theory.Constants{Df: 10, L: 2, Sigma2: 4, M: 64}
+	b1 := theory.BestSASGDBound(c, 8, 1, 1e7)
+	b50 := theory.BestSASGDBound(c, 8, 50, 1e7)
+	fmt.Printf("T=1 bound < T=50 bound: %v\n", b1 < b50)
+	// Output:
+	// T=1 bound < T=50 bound: true
+}

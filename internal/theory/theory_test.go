@@ -1,0 +1,257 @@
+package theory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var testConsts = Constants{Df: 10, L: 2, Sigma2: 4, M: 64}
+
+func TestASGDBoundDecreasesInK(t *testing.T) {
+	g := 0.001
+	prev := math.Inf(1)
+	for _, k := range []int{10, 100, 1000, 10000} {
+		b := ASGDBound(testConsts, 4, k, g)
+		if b >= prev {
+			t.Errorf("bound did not decrease at K=%d: %g >= %g", k, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestASGDBoundConstantTermsRemain(t *testing.T) {
+	// Equation 1's K-independent terms: with constant γ the bound cannot
+	// go below σ²Lγ + 2σ²L²Mpγ².
+	g := 0.001
+	floor := testConsts.Sigma2*testConsts.L*g +
+		2*testConsts.Sigma2*testConsts.L*testConsts.L*float64(testConsts.M)*4*g*g
+	b := ASGDBound(testConsts, 4, 100_000_000, g)
+	if b < floor {
+		t.Errorf("bound %g below its K-independent floor %g", b, floor)
+	}
+	if b > floor*1.01 {
+		t.Errorf("bound %g did not approach floor %g at huge K", b, floor)
+	}
+}
+
+func TestASGDBoundIncreasesInP(t *testing.T) {
+	g := 0.001
+	if ASGDBound(testConsts, 1, 1000, g) >= ASGDBound(testConsts, 32, 1000, g) {
+		t.Error("bound not increasing in p at fixed γ")
+	}
+}
+
+func TestASGDConstraint(t *testing.T) {
+	// Tiny γ always feasible; huge γ never.
+	if !ASGDConstraintOK(testConsts, 8, 1e-9) {
+		t.Error("tiny γ rejected")
+	}
+	if ASGDConstraintOK(testConsts, 8, 1.0) {
+		t.Error("huge γ accepted")
+	}
+}
+
+func TestAlphaKRoundTrip(t *testing.T) {
+	for _, alpha := range []float64{4, 16, 64} {
+		k := KForAlpha(testConsts, alpha)
+		got := Alpha(testConsts, k)
+		if math.Abs(got-alpha)/alpha > 0.01 {
+			t.Errorf("Alpha(KForAlpha(%g)) = %g", alpha, got)
+		}
+	}
+}
+
+func TestCubicRootSolvesEquation7(t *testing.T) {
+	for _, p := range []int{1, 2, 16, 64} {
+		for _, alpha := range []float64{1, 16, 100} {
+			c := cubicRoot(float64(p), alpha)
+			resid := 4*float64(p)*c*c*c + alpha*c*c - 2*alpha
+			if math.Abs(resid) > 1e-6*alpha {
+				t.Errorf("p=%d α=%g: residual %g at root %g", p, alpha, resid, c)
+			}
+		}
+	}
+}
+
+func TestOptimalCRespectsConstraint(t *testing.T) {
+	for _, p := range []int{1, 4, 16, 64} {
+		for _, alpha := range []float64{2, 16, 64} {
+			c := OptimalC(p, alpha)
+			if c <= 0 {
+				t.Fatalf("OptimalC(%d, %g) = %g", p, alpha, c)
+			}
+			if c > CMax(p, alpha)*(1+1e-9) {
+				t.Errorf("OptimalC(%d, %g) = %g exceeds CMax %g", p, alpha, c, CMax(p, alpha))
+			}
+		}
+	}
+}
+
+func TestOptimalCIsMinimum(t *testing.T) {
+	// Perturbing around the optimum must not improve the objective.
+	for _, p := range []int{2, 16} {
+		alpha := 20.0
+		c := OptimalC(p, alpha)
+		best := Objective(p, alpha, c)
+		for _, f := range []float64{0.8, 0.9, 1.1, 1.2} {
+			cand := c * f
+			if cand > CMax(p, alpha) {
+				continue
+			}
+			if Objective(p, alpha, cand) < best-1e-9 {
+				t.Errorf("p=%d: objective at %g·c beats optimum", p, f)
+			}
+		}
+	}
+}
+
+// TestTheorem1GapFactor checks the paper's statement: for 16 ≤ α ≤ p the
+// optimal guarantees for 1 and p learners differ by ≈ p/α. The paper's
+// own example: p = 32, α ≈ 16 → factor ≈ 2.
+func TestTheorem1GapFactor(t *testing.T) {
+	cases := []struct {
+		p     int
+		alpha float64
+	}{
+		{32, 16}, {64, 16}, {64, 32}, {128, 16},
+	}
+	for _, c := range cases {
+		got := GapFactor(c.p, c.alpha)
+		want := float64(c.p) / c.alpha
+		// "approximately p/α": Theorem 1's derivation drops lower-order
+		// terms, so allow 35% slack.
+		if got < want*0.65 || got > want*1.35 {
+			t.Errorf("GapFactor(p=%d, α=%g) = %.3f, want ≈ %.3f", c.p, c.alpha, got, want)
+		}
+	}
+}
+
+func TestTheorem1PaperExample(t *testing.T) {
+	// "when p = 32, α is roughly 16 ... can differ by 2".
+	got := GapFactor(32, 16)
+	if got < 1.5 || got > 2.7 {
+		t.Errorf("paper example gap = %.3f, want ≈ 2", got)
+	}
+}
+
+func TestGapFactorMonotoneInP(t *testing.T) {
+	alpha := 16.0
+	prev := 0.0
+	for _, p := range []int{16, 32, 64, 128} {
+		g := GapFactor(p, alpha)
+		if g <= prev {
+			t.Errorf("gap factor not increasing at p=%d: %g <= %g", p, g, prev)
+		}
+		prev = g
+	}
+}
+
+func TestTheoryLearningRateSmallerThanPractical(t *testing.T) {
+	// The paper: with their CIFAR-10 estimates the theory rate is ≈0.005,
+	// far below the practical 0.1. Generic property: for large K the
+	// prescribed rate is small.
+	k := KForAlpha(testConsts, 16)
+	lr := TheoryLearningRate(testConsts, k)
+	if lr >= 0.1 {
+		t.Errorf("theory learning rate %g not below practical 0.1", lr)
+	}
+}
+
+func TestSASGDBoundMatchesTheorem2Form(t *testing.T) {
+	// Hand-evaluate the three terms for one configuration.
+	c := Constants{Df: 1, L: 1, Sigma2: 1, M: 2}
+	p, tt, k := 2, 3, 5
+	gamma, gammaP := 0.01, 0.02
+	s := float64(c.M) * float64(tt) * float64(k) * float64(p)
+	want := 2*c.Df/(s*gammaP) + 2*c.L*c.L*c.Sigma2*gammaP*gamma*float64(c.M)*float64(tt) + c.L*c.Sigma2*gammaP
+	got := SASGDBound(c, p, tt, k, gamma, gammaP)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("SASGDBound = %g, want %g", got, want)
+	}
+}
+
+func TestSASGDConstraint(t *testing.T) {
+	if !SASGDConstraintOK(testConsts, 8, 50, 1e-9, 1e-9) {
+		t.Error("tiny rates rejected")
+	}
+	if SASGDConstraintOK(testConsts, 8, 50, 0.1, 0.1) {
+		t.Error("large rates accepted")
+	}
+}
+
+// TestTheorem4Monotonicity: at fixed S, the best achievable Theorem 2
+// guarantee worsens as T grows — increasing T always increases sample
+// complexity.
+func TestTheorem4Monotonicity(t *testing.T) {
+	s := 1e7
+	prev := 0.0
+	for i, tt := range []int{1, 5, 25, 50, 200} {
+		b := BestSASGDBound(testConsts, 8, tt, s)
+		if i > 0 && b <= prev {
+			t.Errorf("best bound not increasing at T=%d: %g <= %g", tt, b, prev)
+		}
+		prev = b
+	}
+}
+
+// TestCorollary3Threshold: the K threshold grows when T moves away from
+// p (the (max{p,T}+1)²/(pT) shape), and the asymptotic bound is the
+// O(1/sqrt(S)) rate.
+func TestCorollary3Threshold(t *testing.T) {
+	p := 8
+	kAtP := CorollaryKThreshold(testConsts, p, p)
+	kAtBig := CorollaryKThreshold(testConsts, p, 64*p)
+	if kAtBig <= kAtP {
+		t.Errorf("threshold did not grow with large T: %g <= %g", kAtBig, kAtP)
+	}
+	// Asymptotic bound halves when S quadruples.
+	b1 := CorollaryAsymptoticBound(testConsts, 1e6)
+	b2 := CorollaryAsymptoticBound(testConsts, 4e6)
+	if math.Abs(b1/b2-2) > 1e-9 {
+		t.Errorf("asymptotic bound not O(1/sqrt(S)): ratio %g", b1/b2)
+	}
+}
+
+func TestCorollaryGammaShrinksWithS(t *testing.T) {
+	if CorollaryGamma(testConsts, 1e4) <= CorollaryGamma(testConsts, 1e6) {
+		t.Error("Corollary 3 γ not decreasing in S")
+	}
+}
+
+// Property: for p=1, SASGD with T=1 and ASGD bounds agree up to the
+// bounded constant-term differences — both are O(1/(Kγ)) + O(γ) shapes.
+// We verify a weaker but exact property: both bounds diverge as γ→0 and
+// as γ→∞, so both have interior minimizers.
+func TestBoundsHaveInteriorMinimum(t *testing.T) {
+	f := func(seed int64) bool {
+		k := 1000
+		small := ASGDBound(testConsts, 1, k, 1e-12)
+		mid := ASGDBound(testConsts, 1, k, 0.001)
+		large := ASGDBound(testConsts, 1, k, 100)
+		return small > mid && large > mid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPanicsOnInvalidInputs(t *testing.T) {
+	cases := map[string]func(){
+		"constants": func() { ASGDBound(Constants{}, 1, 1, 0.1) },
+		"gamma":     func() { ASGDBound(testConsts, 1, 1, 0) },
+		"objective": func() { Objective(1, 16, 0) },
+		"optimalc":  func() { OptimalC(0, 16) },
+		"sasgd":     func() { SASGDBound(testConsts, 0, 1, 1, 0.1, 0.1) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on invalid input", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
