@@ -12,7 +12,11 @@
 package sasgd
 
 import (
+	"flag"
+	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 	"testing"
 
 	"sasgd/internal/comm"
@@ -20,8 +24,28 @@ import (
 	"sasgd/internal/experiments"
 	"sasgd/internal/model"
 	"sasgd/internal/nn"
+	"sasgd/internal/parallel"
 	"sasgd/internal/tensor"
 )
+
+// benchWorkers selects the worker counts the kernel sweep benchmarks run
+// at, e.g. go test -bench Kernel . -workers 1,2,4,8
+// (the package path must precede -workers: go test stops reading
+// package arguments at the first flag it does not recognise itself).
+var benchWorkers = flag.String("workers", "1,2,4,8", "comma-separated worker counts for kernel benchmark sweeps")
+
+func workerCounts(b *testing.B) []int {
+	b.Helper()
+	var ws []int
+	for _, f := range strings.Split(*benchWorkers, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			b.Fatalf("bad -workers entry %q", f)
+		}
+		ws = append(ws, w)
+	}
+	return ws
+}
 
 // BenchmarkTableICIFARNet measures one training step (forward + loss +
 // backward) of the exact Table-I CIFAR-10 network at minibatch size 1.
@@ -300,31 +324,47 @@ func runAllreduce(name string, bufs [][]float64) {
 }
 
 // BenchmarkKernelMatMul measures the core GEMM kernel the networks are
-// built on (128×128 square).
+// built on, swept across matrix sizes and worker-pool widths;
+// scripts/bench_kernels.sh records the results in BENCH_KERNELS.json so
+// the perf trajectory is tracked across PRs.
 func BenchmarkKernelMatMul(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	n := 128
-	a, c := tensor.New(n, n), tensor.New(n, n)
-	a.FillRandn(rng, 0, 1)
-	bb := tensor.New(n, n)
-	bb.FillRandn(rng, 0, 1)
-	b.SetBytes(int64(2 * n * n * n * 8 / n)) // touched bytes per op, coarse
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		tensor.MatMul(c, a, bb)
+	for _, n := range []int{128, 256, 512} {
+		rng := rand.New(rand.NewSource(1))
+		a, c := tensor.New(n, n), tensor.New(n, n)
+		a.FillRandn(rng, 0, 1)
+		bb := tensor.New(n, n)
+		bb.FillRandn(rng, 0, 1)
+		for _, w := range workerCounts(b) {
+			b.Run(fmt.Sprintf("n%d/w%d", n, w), func(b *testing.B) {
+				defer parallel.SetWorkers(parallel.SetWorkers(w))
+				b.SetBytes(int64(2 * n * n * 8)) // touched bytes per op, coarse
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tensor.MatMul(c, a, bb)
+				}
+			})
+		}
 	}
 }
 
 // BenchmarkKernelConvForward measures the Table-I first conv layer
-// (3→64, 5×5 on 32×32) via im2col.
+// (3→64, 5×5 on 32×32) via im2col, at minibatch 1 (the paper's CIFAR M
+// per learner) and a batched minibatch, across worker-pool widths.
 func BenchmarkKernelConvForward(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	conv := nn.NewConv2D(rng, 3, 64, 5, 5)
-	x := tensor.New(1, 3, 32, 32)
-	x.FillRandn(rng, 0, 1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		conv.Forward(x, true)
+	for _, batch := range []int{1, 16} {
+		rng := rand.New(rand.NewSource(1))
+		conv := nn.NewConv2D(rng, 3, 64, 5, 5)
+		x := tensor.New(batch, 3, 32, 32)
+		x.FillRandn(rng, 0, 1)
+		for _, w := range workerCounts(b) {
+			b.Run(fmt.Sprintf("b%d/w%d", batch, w), func(b *testing.B) {
+				defer parallel.SetWorkers(parallel.SetWorkers(w))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					conv.Forward(x, true)
+				}
+			})
+		}
 	}
 }
 

@@ -31,6 +31,7 @@ func main() {
 	allreduce := flag.String("allreduce", "tree", "SASGD collective: tree or ring")
 	momentum := flag.Float64("momentum", 0, "EAMSGD local momentum (0 = default, negative = none)")
 	topk := flag.Float64("topk", 0, "SASGD top-k compression fraction in (0,1); 0 = dense aggregation")
+	workers := flag.Int("workers", 0, "per-learner kernel workers (0 = split SASGD_WORKERS/GOMAXPROCS across learners)")
 	sim := flag.Bool("sim", false, "attach the fabric simulator and report simulated epoch time")
 	vtime := flag.Bool("vtime", false, "deterministic virtual-time scheduling for the asynchronous algorithms")
 	flag.Parse()
@@ -69,6 +70,7 @@ func main() {
 		Allreduce:    core.AllreduceAlgo(*allreduce),
 		CompressTopK: *topk,
 		VirtualTime:  *vtime,
+		Workers:      *workers,
 	}
 	if *gamma > 0 {
 		cfg.Gamma = *gamma

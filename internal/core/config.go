@@ -84,6 +84,14 @@ type Config struct {
 	// deterministic already.
 	VirtualTime bool
 
+	// Workers is the per-learner intra-op worker budget for the parallel
+	// tensor kernels. Zero selects the automatic split ⌊W/p⌋ (at least
+	// 1), where W is the process-wide budget from SASGD_WORKERS or
+	// GOMAXPROCS, so p learners × w workers never oversubscribe the
+	// machine. Parallel kernels are bitwise identical to serial ones, so
+	// this setting affects wall-clock time only, never results.
+	Workers int
+
 	// EvalEvery records accuracy every this many collective epochs
 	// (default 1). Evaluation itself is never charged to simulated time.
 	EvalEvery int

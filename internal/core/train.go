@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sasgd/internal/data"
+	"sasgd/internal/parallel"
 )
 
 // Train runs one training experiment and returns its result. It
@@ -18,6 +19,11 @@ func Train(cfg Config, prob *Problem) *Result {
 	if prob.Train == nil || prob.Test == nil || prob.Train.Len() == 0 {
 		panic("core: Train needs non-empty train and test datasets")
 	}
+	// Divide the intra-op worker budget across the p learner goroutines
+	// for the duration of the run, so p learners × w kernel workers never
+	// oversubscribe the machine. Restored on exit because callers (tests,
+	// benchmark sweeps) may have set an explicit budget.
+	defer parallel.SetWorkers(parallel.SetWorkers(workersPerLearner(cfg)))
 	start := time.Now()
 	var res *Result
 	switch cfg.Algo {
@@ -40,6 +46,20 @@ func Train(cfg Config, prob *Problem) *Result {
 		res.FinalTrain, res.FinalTest = last.Train, last.Test
 	}
 	return res
+}
+
+// workersPerLearner resolves cfg.Workers: an explicit value wins;
+// otherwise the current process-wide budget is split evenly across the
+// learners, never below 1.
+func workersPerLearner(cfg Config) int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	w := parallel.Workers() / cfg.Learners
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // runLearners starts p learner goroutines and waits for all of them. A

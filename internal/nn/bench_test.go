@@ -1,11 +1,35 @@
 package nn
 
 import (
+	"flag"
+	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 	"testing"
 
+	"sasgd/internal/parallel"
 	"sasgd/internal/tensor"
 )
+
+// benchWorkers selects the worker counts the convolution sweep runs at,
+// e.g. go test -bench Conv2DForward ./internal/nn -workers 1,2,4,8
+// (the package path must precede -workers: go test stops reading
+// package arguments at the first flag it does not recognise itself).
+var benchWorkers = flag.String("workers", "1,2,4,8", "comma-separated worker counts for kernel benchmark sweeps")
+
+func workerCounts(b *testing.B) []int {
+	b.Helper()
+	var ws []int
+	for _, f := range strings.Split(*benchWorkers, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			b.Fatalf("bad -workers entry %q", f)
+		}
+		ws = append(ws, w)
+	}
+	return ws
+}
 
 func benchInput(shape ...int) *tensor.Tensor {
 	x := tensor.New(shape...)
@@ -13,12 +37,54 @@ func benchInput(shape ...int) *tensor.Tensor {
 	return x
 }
 
+// BenchmarkConv2DForward sweeps the Table-I first conv layer across
+// batch sizes (batch 1 exercises the row-parallel GEMM path, batch 8 the
+// sample-sharded path) and worker counts.
 func BenchmarkConv2DForward(b *testing.B) {
-	l := NewConv2D(rand.New(rand.NewSource(1)), 3, 64, 5, 5)
-	x := benchInput(1, 3, 32, 32)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	for _, batch := range []int{1, 8} {
+		l := NewConv2D(rand.New(rand.NewSource(1)), 3, 64, 5, 5)
+		x := benchInput(batch, 3, 32, 32)
+		for _, w := range workerCounts(b) {
+			b.Run(fmt.Sprintf("b%d/w%d", batch, w), func(b *testing.B) {
+				defer parallel.SetWorkers(parallel.SetWorkers(w))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					l.Forward(x, true)
+				}
+			})
+		}
+	}
+}
+
+// TestConv2DForwardSteadyStateAllocs pins the per-batch allocation
+// behaviour: after the first call sizes the retained column buffers, a
+// Forward pass allocates only the output tensor and the worker-pool call
+// frame, regardless of batch size.
+func TestConv2DForwardSteadyStateAllocs(t *testing.T) {
+	defer parallel.SetWorkers(parallel.SetWorkers(4))
+	l := NewConv2D(rand.New(rand.NewSource(1)), 3, 16, 5, 5)
+	x := benchInput(8, 3, 16, 16)
+	l.Forward(x, true) // size the retained per-sample column buffers
+	allocs := testing.AllocsPerRun(20, func() { l.Forward(x, true) })
+	if allocs > 16 {
+		t.Errorf("steady-state Conv2D.Forward allocates %.0f objects/op, want <= 16 (column scratch must be reused)", allocs)
+	}
+}
+
+// TestConv2DBackwardSteadyStateAllocs asserts Backward reuses pooled
+// column-gradient scratch rather than allocating one per sample.
+func TestConv2DBackwardSteadyStateAllocs(t *testing.T) {
+	defer parallel.SetWorkers(parallel.SetWorkers(4))
+	l := NewConv2D(rand.New(rand.NewSource(1)), 3, 16, 5, 5)
+	x := benchInput(8, 3, 16, 16)
+	g := benchInput(l.Forward(x, true).Shape()...)
+	l.Backward(g)
+	allocs := testing.AllocsPerRun(20, func() {
 		l.Forward(x, true)
+		l.Backward(g)
+	})
+	if allocs > 40 {
+		t.Errorf("steady-state Conv2D step allocates %.0f objects/op, want <= 40", allocs)
 	}
 }
 

@@ -3,7 +3,9 @@ package nn
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
+	"sasgd/internal/parallel"
 	"sasgd/internal/tensor"
 )
 
@@ -11,14 +13,43 @@ import (
 // im2col lowering followed by a matrix multiplication, the same strategy
 // Torch's SpatialConvolutionMM (the paper's substrate) uses. The weight
 // tensor has shape (K, C, KH, KW) and the bias shape (K).
+//
+// Both passes are batch-parallel: samples are sharded across the worker
+// pool (each shard using the serial slice kernels on disjoint slices of
+// the batch), and the cross-sample weight-gradient reduction is sharded
+// over output channels with samples accumulated in index order, so the
+// results are bitwise identical to the serial loops at any worker count.
+// At batch size 1 there is no sample parallelism and the layer instead
+// leans on the row-parallel tensor kernels.
 type Conv2D struct {
 	InC, OutC int
 	Geom      tensor.ConvGeom
 	w, b      *Param
 
 	// retained between Forward and Backward
-	x    *tensor.Tensor
-	cols []*tensor.Tensor // per-sample column matrices
+	x *tensor.Tensor
+	// cols holds one im2col column matrix (kr × OH·OW, flattened) per
+	// sample. The backing buffers are grown once and reused across
+	// batches, so steady-state Forward does no per-sample allocation.
+	cols [][]float64
+}
+
+// colScratch recycles column-gradient buffers across Backward calls (and
+// across layers); each worker shard checks one out for the duration of
+// its samples.
+var colScratch sync.Pool
+
+func getColBuf(size int) []float64 {
+	if v := colScratch.Get(); v != nil {
+		if buf := *(v.(*[]float64)); cap(buf) >= size {
+			return buf[:size]
+		}
+	}
+	return make([]float64, size)
+}
+
+func putColBuf(buf []float64) {
+	colScratch.Put(&buf)
 }
 
 // NewConv2D returns a convolution with nkern output feature maps over
@@ -63,6 +94,39 @@ func (c *Conv2D) OutShape(in []int) []int {
 	return []int{c.OutC, oh, ow}
 }
 
+// ensureCols sizes the retained per-sample column buffers for a batch of
+// n samples of kr*p columns each, reusing existing backing arrays. It
+// runs before the parallel section so shards never allocate.
+func (c *Conv2D) ensureCols(n, size int) {
+	if cap(c.cols) < n {
+		grown := make([][]float64, n)
+		copy(grown, c.cols)
+		c.cols = grown
+	}
+	c.cols = c.cols[:n]
+	for i := range c.cols {
+		if cap(c.cols[i]) < size {
+			c.cols[i] = make([]float64, size)
+		} else {
+			c.cols[i] = c.cols[i][:size]
+		}
+	}
+}
+
+// sampleGrain groups samples into shards carrying enough multiply-adds
+// to amortize dispatch, mirroring the tensor kernels' threshold.
+func sampleGrain(flopsPerSample int) int {
+	const minShardFlops = 1 << 15
+	if flopsPerSample <= 0 {
+		return 1
+	}
+	g := minShardFlops / flopsPerSample
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
 // Forward implements Layer.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Dims() != 4 || x.Dim(1) != c.InC {
@@ -71,33 +135,51 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	oh, ow := c.Geom.OutSize(h, w)
 	kr := c.InC * c.Geom.KH * c.Geom.KW
+	p := oh * ow
 	out := tensor.New(n, c.OutC, oh, ow)
 	c.x = x
-	if cap(c.cols) < n {
-		c.cols = make([]*tensor.Tensor, n)
-	}
-	c.cols = c.cols[:n]
-	wmat := c.w.Value.Reshape(c.OutC, kr)
+	c.ensureCols(n, kr*p)
+	wm := c.w.Value.Data
+	bias := c.b.Value.Data
 	perSample := c.InC * h * w
-	outPer := c.OutC * oh * ow
-	for i := 0; i < n; i++ {
-		img := tensor.FromSlice(x.Data[i*perSample:(i+1)*perSample], c.InC, h, w)
-		if c.cols[i] == nil || c.cols[i].Dim(0) != kr || c.cols[i].Dim(1) != oh*ow {
-			c.cols[i] = tensor.New(kr, oh*ow)
+	outPer := c.OutC * p
+
+	if n < parallel.Workers() {
+		// Too few samples to occupy the pool: run samples in order and let
+		// the row-parallel tensor kernels split the per-sample GEMM. The
+		// kernels are bitwise identical to their serial forms, so both
+		// branches produce the same output.
+		wmat := c.w.Value.Reshape(c.OutC, kr)
+		for i := 0; i < n; i++ {
+			img := tensor.FromSlice(x.Data[i*perSample:(i+1)*perSample], c.InC, h, w)
+			colsT := tensor.FromSlice(c.cols[i], kr, p)
+			tensor.Im2Col(colsT, img, c.Geom)
+			dst := tensor.FromSlice(out.Data[i*outPer:(i+1)*outPer], c.OutC, p)
+			tensor.MatMul(dst, wmat, colsT)
+			addBiasRows(out.Data[i*outPer:(i+1)*outPer], bias, p)
 		}
-		tensor.Im2Col(c.cols[i], img, c.Geom)
-		dst := tensor.FromSlice(out.Data[i*outPer:(i+1)*outPer], c.OutC, oh*ow)
-		tensor.MatMul(dst, wmat, c.cols[i])
-		// add bias per output channel
-		for k := 0; k < c.OutC; k++ {
-			bv := c.b.Value.Data[k]
-			row := dst.Data[k*oh*ow : (k+1)*oh*ow]
-			for j := range row {
-				row[j] += bv
-			}
+		return out
+	}
+
+	parallel.For(n, sampleGrain(c.OutC*p*kr), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			tensor.Im2ColInto(c.cols[i], x.Data[i*perSample:(i+1)*perSample], c.InC, h, w, c.Geom)
+			dst := out.Data[i*outPer : (i+1)*outPer]
+			tensor.MatMulInto(dst, wm, c.cols[i], c.OutC, kr, p)
+			addBiasRows(dst, bias, p)
+		}
+	})
+	return out
+}
+
+// addBiasRows adds bias[k] to the k-th row of a (K × p) output block.
+func addBiasRows(dst, bias []float64, p int) {
+	for k, bv := range bias {
+		row := dst[k*p : (k+1)*p]
+		for j := range row {
+			row[j] += bv
 		}
 	}
-	return out
 }
 
 // Backward implements Layer.
@@ -112,33 +194,70 @@ func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s backward gradient shape %v", c.Name(), gradOut.Shape()))
 	}
 	kr := c.InC * c.Geom.KH * c.Geom.KW
+	p := oh * ow
 	perSample := c.InC * h * w
-	outPer := c.OutC * oh * ow
+	outPer := c.OutC * p
 
-	wmat := c.w.Value.Reshape(c.OutC, kr)
-	dwmat := c.w.Grad.Reshape(c.OutC, kr)
+	wm := c.w.Value.Data
+	dw := c.w.Grad.Data
+	db := c.b.Grad.Data
 	c.w.Grad.Zero()
 	c.b.Grad.Zero()
 	gradIn := tensor.New(n, c.InC, h, w)
-	colGrad := tensor.New(kr, oh*ow)
-	for i := 0; i < n; i++ {
-		gout := tensor.FromSlice(gradOut.Data[i*outPer:(i+1)*outPer], c.OutC, oh*ow)
-		// dW += gout (K×P) · colsᵀ (P×kr)  — accumulate across the batch.
-		tensor.MatMulAccTransB(dwmat, gout, c.cols[i])
-		// db += row sums of gout
-		for k := 0; k < c.OutC; k++ {
-			s := 0.0
-			row := gout.Data[k*oh*ow : (k+1)*oh*ow]
-			for _, g := range row {
-				s += g
-			}
-			c.b.Grad.Data[k] += s
+
+	// Input gradients: per-sample dcols = Wᵀ·gout scattered back through
+	// col2im. Samples are independent, so shard the batch; each shard
+	// reuses one pooled column-gradient buffer for all its samples.
+	if n < parallel.Workers() {
+		wmat := c.w.Value.Reshape(c.OutC, kr)
+		cg := getColBuf(kr * p)
+		colGrad := tensor.FromSlice(cg, kr, p)
+		for i := 0; i < n; i++ {
+			gout := tensor.FromSlice(gradOut.Data[i*outPer:(i+1)*outPer], c.OutC, p)
+			tensor.MatMulTransA(colGrad, wmat, gout)
+			gin := tensor.FromSlice(gradIn.Data[i*perSample:(i+1)*perSample], c.InC, h, w)
+			tensor.Col2Im(gin, colGrad, c.Geom)
 		}
-		// dcols = Wᵀ (kr×K) · gout (K×P)
-		tensor.MatMulTransA(colGrad, wmat, gout)
-		gin := tensor.FromSlice(gradIn.Data[i*perSample:(i+1)*perSample], c.InC, h, w)
-		tensor.Col2Im(gin, colGrad, c.Geom)
+		putColBuf(cg)
+	} else {
+		parallel.For(n, sampleGrain(c.OutC*p*kr), func(lo, hi int) {
+			cg := getColBuf(kr * p)
+			for i := lo; i < hi; i++ {
+				tensor.MatMulTransAInto(cg, wm, gradOut.Data[i*outPer:(i+1)*outPer], c.OutC, kr, p)
+				tensor.Col2ImInto(gradIn.Data[i*perSample:(i+1)*perSample], cg, c.InC, h, w, c.Geom)
+			}
+			putColBuf(cg)
+		})
 	}
+
+	// Weight and bias gradients: dW += gout·colsᵀ and db += row sums,
+	// accumulated across the batch. The reduction is sharded over output
+	// channels — each shard owns rows [lo, hi) of dW and db — with the
+	// sample loop kept in index order inside the shard, so every element
+	// accumulates in exactly the serial order.
+	parallel.For(c.OutC, sampleGrain(n*kr*p), func(lo, hi int) {
+		for i := 0; i < n; i++ {
+			gout := gradOut.Data[i*outPer : (i+1)*outPer]
+			cols := c.cols[i]
+			for r := lo; r < hi; r++ {
+				gr := gout[r*p : (r+1)*p]
+				s := 0.0
+				for _, g := range gr {
+					s += g
+				}
+				db[r] += s
+				dwr := dw[r*kr : (r+1)*kr]
+				for ci := 0; ci < kr; ci++ {
+					col := cols[ci*p : (ci+1)*p]
+					d := 0.0
+					for j, g := range gr {
+						d += g * col[j]
+					}
+					dwr[ci] += d
+				}
+			}
+		}
+	})
 	c.x = nil
 	return gradIn
 }

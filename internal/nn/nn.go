@@ -19,7 +19,17 @@ import (
 	"fmt"
 	"math/rand"
 
+	"sasgd/internal/parallel"
 	"sasgd/internal/tensor"
+)
+
+// activationGrain is the minimum number of elements per worker shard for
+// the elementwise activation kernels. ReLU's compare-and-copy is nearly
+// free per element, so only whole-minibatch activations are worth
+// splitting; Tanh's exp is costly enough to split sooner.
+const (
+	reluGrain = 1 << 14
+	tanhGrain = 1 << 10
 )
 
 // Param is one learnable tensor together with the gradient accumulated
@@ -83,14 +93,17 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		r.mask = make([]bool, len(x.Data))
 	}
 	r.mask = r.mask[:len(x.Data)]
-	for i, v := range x.Data {
-		if v > 0 {
-			out.Data[i] = v
-			r.mask[i] = true
-		} else {
-			r.mask[i] = false
+	src, dst, mask := x.Data, out.Data, r.mask
+	parallel.For(len(src), reluGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if v := src[i]; v > 0 {
+				dst[i] = v
+				mask[i] = true
+			} else {
+				mask[i] = false
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -100,11 +113,14 @@ func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		panic("nn: ReLU.Backward called with mismatched gradient size")
 	}
 	in := tensor.New(gradOut.Shape()...)
-	for i, g := range gradOut.Data {
-		if r.mask[i] {
-			in.Data[i] = g
+	src, dst, mask := gradOut.Data, in.Data, r.mask
+	parallel.For(len(src), reluGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if mask[i] {
+				dst[i] = src[i]
+			}
 		}
-	}
+	})
 	return in
 }
 
@@ -128,9 +144,12 @@ func (*Tanh) OutShape(in []int) []int { return in }
 // Forward implements Layer.
 func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	out := tensor.New(x.Shape()...)
-	for i, v := range x.Data {
-		out.Data[i] = tanh(v)
-	}
+	src, dst := x.Data, out.Data
+	parallel.For(len(src), tanhGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = tanh(src[i])
+		}
+	})
 	t.out = append(t.out[:0], out.Data...)
 	return out
 }
@@ -141,10 +160,13 @@ func (t *Tanh) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		panic("nn: Tanh.Backward called with mismatched gradient size")
 	}
 	in := tensor.New(gradOut.Shape()...)
-	for i, g := range gradOut.Data {
-		y := t.out[i]
-		in.Data[i] = g * (1 - y*y)
-	}
+	src, dst, outs := gradOut.Data, in.Data, t.out
+	parallel.For(len(src), tanhGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y := outs[i]
+			dst[i] = src[i] * (1 - y*y)
+		}
+	})
 	return in
 }
 

@@ -1,0 +1,165 @@
+package parallel
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestShardRangeCoversExactly(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 100, 101, 1023} {
+		for shards := 1; shards <= 9; shards++ {
+			if shards > n {
+				continue
+			}
+			prev := 0
+			for s := 0; s < shards; s++ {
+				lo, hi := shardRange(n, shards, s)
+				if lo != prev {
+					t.Fatalf("n=%d shards=%d: shard %d starts at %d, want %d", n, shards, s, lo, prev)
+				}
+				if hi <= lo {
+					t.Fatalf("n=%d shards=%d: empty shard %d [%d,%d)", n, shards, s, lo, hi)
+				}
+				if hi-lo < n/shards || hi-lo > n/shards+1 {
+					t.Fatalf("n=%d shards=%d: shard %d has %d items, want %d or %d", n, shards, s, hi-lo, n/shards, n/shards+1)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d shards=%d: shards end at %d", n, shards, prev)
+			}
+		}
+	}
+}
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	defer SetWorkers(SetWorkers(8))
+	for _, n := range []int{0, 1, 2, 5, 17, 1000, 4097} {
+		counts := make([]int32, n)
+		For(n, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForSerialBelowGrain(t *testing.T) {
+	defer SetWorkers(SetWorkers(8))
+	calls := 0
+	For(100, 64, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 100 {
+			t.Fatalf("serial fallback got [%d,%d), want [0,100)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("serial fallback ran %d shards", calls)
+	}
+}
+
+type shardBound struct{ shard, lo, hi int }
+
+// collectPlan runs ForShards and returns the observed shard bounds in
+// shard order.
+func collectPlan(n, grain int) []shardBound {
+	var mu sync.Mutex
+	var v []shardBound
+	ForShards(n, grain, func(s, lo, hi int) {
+		mu.Lock()
+		v = append(v, shardBound{s, lo, hi})
+		mu.Unlock()
+	})
+	sort.Slice(v, func(i, j int) bool { return v[i].shard < v[j].shard })
+	return v
+}
+
+func TestForShardsDeterministicPlan(t *testing.T) {
+	defer SetWorkers(SetWorkers(4))
+	a, b := collectPlan(103, 8), collectPlan(103, 8)
+	if len(a) != len(b) {
+		t.Fatalf("plan sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plan differs at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Every shard must hold at least grain items.
+	for _, s := range a {
+		if s.hi-s.lo < 8 {
+			t.Errorf("shard %d holds %d items, want >= grain 8", s.shard, s.hi-s.lo)
+		}
+	}
+}
+
+func TestNestedForDoesNotDeadlock(t *testing.T) {
+	defer SetWorkers(SetWorkers(4))
+	var total atomic.Int64
+	For(16, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			For(64, 1, func(ilo, ihi int) {
+				total.Add(int64(ihi - ilo))
+			})
+		}
+	})
+	if total.Load() != 16*64 {
+		t.Fatalf("nested total = %d, want %d", total.Load(), 16*64)
+	}
+}
+
+func TestSetWorkersClampsAndRestores(t *testing.T) {
+	orig := Workers()
+	defer SetWorkers(orig)
+	if prev := SetWorkers(3); prev != orig {
+		t.Errorf("SetWorkers returned %d, want %d", prev, orig)
+	}
+	if Workers() != 3 {
+		t.Errorf("Workers() = %d, want 3", Workers())
+	}
+	SetWorkers(0)
+	if Workers() != 1 {
+		t.Errorf("Workers() after SetWorkers(0) = %d, want 1", Workers())
+	}
+}
+
+func TestConcurrentForCallers(t *testing.T) {
+	// Simulates p learners each issuing parallel kernels: the pool must
+	// keep every call's shards isolated.
+	defer SetWorkers(SetWorkers(4))
+	const callers, n = 8, 513
+	var wg sync.WaitGroup
+	errs := make(chan string, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			out := make([]int, n)
+			for iter := 0; iter < 50; iter++ {
+				For(n, 16, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						out[i] = c*n + i
+					}
+				})
+				for i, v := range out {
+					if v != c*n+i {
+						errs <- "corrupted shard write"
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}

@@ -1,9 +1,34 @@
 package tensor
 
 import (
+	"flag"
+	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 	"testing"
+
+	"sasgd/internal/parallel"
 )
+
+// benchWorkers selects the worker counts the kernel sweep benchmarks run
+// at, e.g. go test -bench KernelMatMul ./internal/tensor -workers 1,2,4,8
+// (the package path must precede -workers: go test stops reading
+// package arguments at the first flag it does not recognise itself).
+var benchWorkers = flag.String("workers", "1,2,4,8", "comma-separated worker counts for kernel benchmark sweeps")
+
+func workerCounts(b *testing.B) []int {
+	b.Helper()
+	var ws []int
+	for _, f := range strings.Split(*benchWorkers, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			b.Fatalf("bad -workers entry %q", f)
+		}
+		ws = append(ws, w)
+	}
+	return ws
+}
 
 func benchMat(b *testing.B, n int) (*Tensor, *Tensor, *Tensor) {
 	b.Helper()
@@ -43,6 +68,44 @@ func BenchmarkMatMulTransB128(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		MatMulTransB(c, a, x)
+	}
+}
+
+// BenchmarkKernelMatMulWorkers sweeps the GEMM kernel across matrix
+// sizes and worker counts; scripts/bench_kernels.sh records the results
+// in BENCH_KERNELS.json to track the perf trajectory across PRs.
+func BenchmarkKernelMatMulWorkers(b *testing.B) {
+	for _, n := range []int{128, 256, 512} {
+		a, x, c := benchMat(b, n)
+		for _, w := range workerCounts(b) {
+			b.Run(fmt.Sprintf("n%d/w%d", n, w), func(b *testing.B) {
+				defer parallel.SetWorkers(parallel.SetWorkers(w))
+				b.SetBytes(int64(3 * n * n * 8))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					MatMul(c, a, x)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAxpyWorkers sweeps the AXPY kernel (the SGD update hot loop)
+// across worker counts at flattened-model scale.
+func BenchmarkAxpyWorkers(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 1 << 21
+	x, y := New(n), New(n)
+	x.FillRandn(rng, 0, 1)
+	for _, w := range workerCounts(b) {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			defer parallel.SetWorkers(parallel.SetWorkers(w))
+			b.SetBytes(2 * n * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Axpy(0.5, x.Data, y.Data)
+			}
+		})
 	}
 }
 

@@ -40,8 +40,16 @@ func Im2Col(dst, img *Tensor, g ConvGeom) {
 	if dst.Dims() != 2 || dst.shape[0] != rows || dst.shape[1] != cols {
 		panic(fmt.Sprintf("tensor: Im2Col destination shape %v, want [%d %d]", dst.shape, rows, cols))
 	}
-	d := dst.Data
-	src := img.Data
+	Im2ColInto(dst.Data, img.Data, c, h, w, g)
+}
+
+// Im2ColInto is the raw-slice core of Im2Col for callers (the batched
+// convolution layer) that shard a minibatch across workers and cannot
+// afford per-sample tensor headers. src is a (c,h,w) image flattened
+// row-major; dst must hold c*KH*KW*OH*OW elements.
+func Im2ColInto(d, src []float64, c, h, w int, g ConvGeom) {
+	oh, ow := g.OutSize(h, w)
+	cols := oh * ow
 	row := 0
 	for ch := 0; ch < c; ch++ {
 		chBase := ch * h * w
@@ -89,9 +97,18 @@ func Col2Im(dst, cols *Tensor, g ConvGeom) {
 	if cols.Dims() != 2 || cols.shape[0] != rows || cols.shape[1] != nc {
 		panic(fmt.Sprintf("tensor: Col2Im source shape %v, want [%d %d]", cols.shape, rows, nc))
 	}
-	dst.Zero()
-	d := dst.Data
-	src := cols.Data
+	Col2ImInto(dst.Data, cols.Data, c, h, w, g)
+}
+
+// Col2ImInto is the raw-slice core of Col2Im, the scatter counterpart of
+// Im2ColInto. d is a (c,h,w) image gradient flattened row-major and is
+// overwritten (zeroed first); src must hold c*KH*KW*OH*OW elements.
+func Col2ImInto(d, src []float64, c, h, w int, g ConvGeom) {
+	oh, ow := g.OutSize(h, w)
+	nc := oh * ow
+	for i := range d[:c*h*w] {
+		d[i] = 0
+	}
 	row := 0
 	for ch := 0; ch < c; ch++ {
 		chBase := ch * h * w

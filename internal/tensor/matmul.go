@@ -1,25 +1,73 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"sasgd/internal/parallel"
+)
+
+// The matrix kernels below are parallelized over output rows through
+// parallel.For: the row range [0, m) is split into fixed contiguous
+// shards, and each shard writes a disjoint slice of the destination.
+// Within a shard the loop bodies are byte-for-byte the serial kernels,
+// and every C[i,j] accumulates its k products in ascending-l order
+// exactly as the serial loops do, so the results are bitwise identical
+// at every worker count (determinism the convergence experiments rely
+// on). Small products fall below parRowFlops and run serially with no
+// dispatch overhead.
+
+// parRowFlops is the minimum number of multiply-adds a shard must amortize
+// for parallel dispatch to pay off; rows are grouped until each shard
+// carries at least this much work.
+const parRowFlops = 1 << 15
+
+// matmulGrain returns the row grain for an m×k·k×n product: the smallest
+// row count whose work exceeds parRowFlops.
+func matmulGrain(k, n int) int {
+	rowWork := k * n
+	if rowWork <= 0 {
+		return 1
+	}
+	g := parRowFlops / rowWork
+	if g < 1 {
+		return 1
+	}
+	return g
+}
 
 // MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n), writing
 // into dst (m×n) which must be preallocated with the right shape. dst is
 // overwritten, not accumulated into. The kernel is a cache-friendly
 // ikj-ordered triple loop: the inner loop runs over contiguous rows of B
-// and C so it vectorizes.
+// and C so it vectorizes. Rows of C are computed in parallel shards.
 func MatMul(dst, a, b *Tensor) {
 	m, k, n := checkMatMulShapes(dst, a, b)
 	c := dst.Data
-	for i := range c {
-		c[i] = 0
-	}
-	matmulAcc(c, a.Data, b.Data, m, k, n)
+	parallel.For(m, matmulGrain(k, n), func(lo, hi int) {
+		cs := c[lo*n : hi*n]
+		for i := range cs {
+			cs[i] = 0
+		}
+		matmulAccRange(c, a.Data, b.Data, k, n, lo, hi)
+	})
 }
 
 // MatMulAcc computes C += A·B with the same shape rules as MatMul.
 func MatMulAcc(dst, a, b *Tensor) {
 	m, k, n := checkMatMulShapes(dst, a, b)
-	matmulAcc(dst.Data, a.Data, b.Data, m, k, n)
+	parallel.For(m, matmulGrain(k, n), func(lo, hi int) {
+		matmulAccRange(dst.Data, a.Data, b.Data, k, n, lo, hi)
+	})
+}
+
+// MatMulInto is the raw-slice form of MatMul for callers that manage
+// their own parallelism (it always runs serially on the calling
+// goroutine). a is m×k, b is k×n, c is m×n and is overwritten.
+func MatMulInto(c, a, b []float64, m, k, n int) {
+	for i := range c[:m*n] {
+		c[i] = 0
+	}
+	matmulAccRange(c, a, b, k, n, 0, m)
 }
 
 func checkMatMulShapes(dst, a, b *Tensor) (m, k, n int) {
@@ -37,21 +85,48 @@ func checkMatMulShapes(dst, a, b *Tensor) (m, k, n int) {
 	return m, k, n
 }
 
-func matmulAcc(c, a, b []float64, m, k, n int) {
-	for i := 0; i < m; i++ {
-		ci := c[i*n : i*n+n]
-		ai := a[i*k : i*k+k]
-		for l := 0; l < k; l++ {
-			av := ai[l]
-			if av == 0 {
-				continue
-			}
-			bl := b[l*n : l*n+n]
-			for j, bv := range bl {
-				ci[j] += av * bv
+// matmulAccRange computes C[lo:hi,:] += A[lo:hi,:]·B with the ikj loop,
+// blocked over l so the slab of B in flight stays L2-resident and is
+// reused across the shard's rows. Blocking only regroups the l loop into
+// ascending runs; every C[i,j] still accumulates its products in strictly
+// ascending l order, so the result is bitwise identical to the unblocked
+// serial loop.
+func matmulAccRange(c, a, b []float64, k, n, lo, hi int) {
+	lb := lBlock(k, n)
+	for l0 := 0; l0 < k; l0 += lb {
+		l1 := l0 + lb
+		if l1 > k {
+			l1 = k
+		}
+		for i := lo; i < hi; i++ {
+			ci := c[i*n : i*n+n]
+			ai := a[i*k : i*k+k]
+			for l := l0; l < l1; l++ {
+				av := ai[l]
+				if av == 0 {
+					continue
+				}
+				bl := b[l*n : l*n+n]
+				for j, bv := range bl {
+					ci[j] += av * bv
+				}
 			}
 		}
 	}
+}
+
+// lBlock sizes the l-blocking of matmulAccRange so a block of B spans
+// roughly 512 KiB; small B is processed in one pass.
+func lBlock(k, n int) int {
+	const blockElems = 1 << 16
+	if n <= 0 || k*n <= blockElems {
+		return k
+	}
+	lb := blockElems / n
+	if lb < 8 {
+		lb = 8
+	}
+	return lb
 }
 
 // MatMulTransA computes C = Aᵀ·B where A is k×m, B is k×n, C is m×n.
@@ -69,20 +144,33 @@ func MatMulTransA(dst, a, b *Tensor) {
 	if dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTransA destination shape %v, want [%d %d]", dst.shape, m, n))
 	}
-	c := dst.Data
-	for i := range c {
-		c[i] = 0
+	parallel.For(m, matmulGrain(k, n), func(lo, hi int) {
+		matMulTransARange(dst.Data, a.Data, b.Data, k, m, n, lo, hi)
+	})
+}
+
+// MatMulTransAInto is the raw-slice, always-serial form of MatMulTransA:
+// c (m×n) = aᵀ (k×m transposed) · b (k×n), c overwritten.
+func MatMulTransAInto(c, a, b []float64, k, m, n int) {
+	matMulTransARange(c, a, b, k, m, n, 0, m)
+}
+
+// matMulTransARange computes C[lo:hi,:] = (Aᵀ·B)[lo:hi,:]. l runs
+// outermost exactly as in the serial kernel, so each C[i,j] accumulates
+// in ascending l order; only rows [lo, hi) are touched.
+func matMulTransARange(c, a, b []float64, k, m, n, lo, hi int) {
+	cs := c[lo*n : hi*n]
+	for i := range cs {
+		cs[i] = 0
 	}
-	// C[i,j] = sum_l A[l,i] * B[l,j]; iterate l outermost so both B and C
-	// rows stream contiguously.
 	for l := 0; l < k; l++ {
-		al := a.Data[l*m : l*m+m]
-		bl := b.Data[l*n : l*n+n]
+		al := a[l*m+lo : l*m+hi]
+		bl := b[l*n : l*n+n]
 		for i, av := range al {
 			if av == 0 {
 				continue
 			}
-			ci := c[i*n : i*n+n]
+			ci := c[(lo+i)*n : (lo+i)*n+n]
 			for j, bv := range bl {
 				ci[j] += av * bv
 			}
@@ -93,55 +181,54 @@ func MatMulTransA(dst, a, b *Tensor) {
 // MatMulTransB computes C = A·Bᵀ where A is m×k, B is n×k, C is m×n.
 // Used in backward passes to propagate gradients through linear layers.
 func MatMulTransB(dst, a, b *Tensor) {
-	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
-		panic("tensor: MatMulTransB needs 2-D operands")
-	}
-	m, k := a.shape[0], a.shape[1]
-	if b.shape[1] != k {
-		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v · %v ᵀ", a.shape, b.shape))
-	}
-	n := b.shape[0]
-	if dst.shape[0] != m || dst.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulTransB destination shape %v, want [%d %d]", dst.shape, m, n))
-	}
-	for i := 0; i < m; i++ {
-		ai := a.Data[i*k : i*k+k]
-		ci := dst.Data[i*n : i*n+n]
-		for j := 0; j < n; j++ {
-			bj := b.Data[j*k : j*k+k]
-			s := 0.0
-			for l, av := range ai {
-				s += av * bj[l]
-			}
-			ci[j] = s
-		}
-	}
+	m, k, n := checkTransBShapes(dst, a, b, "MatMulTransB")
+	parallel.For(m, matmulGrain(k, n), func(lo, hi int) {
+		matMulTransBRange(dst.Data, a.Data, b.Data, k, n, lo, hi, false)
+	})
 }
 
 // MatMulAccTransB computes C += A·Bᵀ where A is m×k, B is n×k, C is m×n.
 // Used by Conv2D backward to accumulate weight gradients across a batch.
 func MatMulAccTransB(dst, a, b *Tensor) {
+	m, k, n := checkTransBShapes(dst, a, b, "MatMulAccTransB")
+	parallel.For(m, matmulGrain(k, n), func(lo, hi int) {
+		matMulTransBRange(dst.Data, a.Data, b.Data, k, n, lo, hi, true)
+	})
+}
+
+func checkTransBShapes(dst, a, b *Tensor, op string) (m, k, n int) {
 	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
-		panic("tensor: MatMulAccTransB needs 2-D operands")
+		panic(fmt.Sprintf("tensor: %s needs 2-D operands", op))
 	}
-	m, k := a.shape[0], a.shape[1]
+	m, k = a.shape[0], a.shape[1]
 	if b.shape[1] != k {
-		panic(fmt.Sprintf("tensor: MatMulAccTransB inner dimension mismatch %v · %v ᵀ", a.shape, b.shape))
+		panic(fmt.Sprintf("tensor: %s inner dimension mismatch %v · %v ᵀ", op, a.shape, b.shape))
 	}
-	n := b.shape[0]
+	n = b.shape[0]
 	if dst.shape[0] != m || dst.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulAccTransB destination shape %v, want [%d %d]", dst.shape, m, n))
+		panic(fmt.Sprintf("tensor: %s destination shape %v, want [%d %d]", op, dst.shape, m, n))
 	}
-	for i := 0; i < m; i++ {
-		ai := a.Data[i*k : i*k+k]
-		ci := dst.Data[i*n : i*n+n]
+	return m, k, n
+}
+
+// matMulTransBRange computes C[lo:hi,:] (+)= A[lo:hi,:]·Bᵀ. Each C[i,j]
+// is one dot product computed in a single pass, so there is no
+// accumulation-order concern at all.
+func matMulTransBRange(c, a, b []float64, k, n, lo, hi int, acc bool) {
+	for i := lo; i < hi; i++ {
+		ai := a[i*k : i*k+k]
+		ci := c[i*n : i*n+n]
 		for j := 0; j < n; j++ {
-			bj := b.Data[j*k : j*k+k]
+			bj := b[j*k : j*k+k]
 			s := 0.0
 			for l, av := range ai {
 				s += av * bj[l]
 			}
-			ci[j] += s
+			if acc {
+				ci[j] += s
+			} else {
+				ci[j] = s
+			}
 		}
 	}
 }

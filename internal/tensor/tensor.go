@@ -12,7 +12,18 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+
+	"sasgd/internal/parallel"
 )
+
+// elemGrain is the minimum number of elements per shard for the
+// parallelized elementwise kernels (axpy, Scale, Mul). These loops are
+// memory-bound, so only large vectors — flattened model parameters,
+// whole-minibatch activations — are worth splitting; everything smaller
+// runs serially with zero dispatch overhead. Elementwise kernels touch
+// each index independently, so parallel results are bitwise identical to
+// serial ones at any worker count.
+const elemGrain = 1 << 15
 
 // Tensor is a dense, row-major, contiguous n-dimensional array of float64.
 //
@@ -195,16 +206,24 @@ func (t *Tensor) Sub(o *Tensor) {
 // Mul multiplies t by o elementwise (t *= o).
 func (t *Tensor) Mul(o *Tensor) {
 	t.mustSameSize(o, "Mul")
-	for i, v := range o.Data {
-		t.Data[i] *= v
-	}
+	x, y := o.Data, t.Data
+	parallel.For(len(x), elemGrain, func(lo, hi int) {
+		ys := y[lo:hi]
+		for i, v := range x[lo:hi] {
+			ys[i] *= v
+		}
+	})
 }
 
 // Scale multiplies every element of t by a.
 func (t *Tensor) Scale(a float64) {
-	for i := range t.Data {
-		t.Data[i] *= a
-	}
+	d := t.Data
+	parallel.For(len(d), elemGrain, func(lo, hi int) {
+		ds := d[lo:hi]
+		for i := range ds {
+			ds[i] *= a
+		}
+	})
 }
 
 // AddScaled accumulates a*o into t (t += a·o), the AXPY kernel that SGD
@@ -216,14 +235,18 @@ func (t *Tensor) AddScaled(a float64, o *Tensor) {
 
 // axpy computes y += a*x over flat slices. It is the single hottest loop
 // in training; keeping it free of bounds surprises lets the compiler
-// vectorize it.
+// vectorize it, and vectors the size of a flattened model are split
+// across the worker pool.
 func axpy(a float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("tensor: axpy length mismatch")
 	}
-	for i, v := range x {
-		y[i] += a * v
-	}
+	parallel.For(len(x), elemGrain, func(lo, hi int) {
+		ys := y[lo:hi]
+		for i, v := range x[lo:hi] {
+			ys[i] += a * v
+		}
+	})
 }
 
 // Axpy computes y += a*x over raw slices; exposed for the optimizer and

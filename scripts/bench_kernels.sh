@@ -1,0 +1,48 @@
+#!/bin/sh
+# Regenerates BENCH_KERNELS.json: the worker-sweep baseline for the two
+# kernels the parallel layer is judged on (GEMM and Conv2D forward) plus
+# the AXPY update loop.
+#
+#   scripts/bench_kernels.sh              # 1,2,4,8 workers, 300ms/bench
+#   WORKERS=1,4 BENCHTIME=1s scripts/bench_kernels.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+workers="${WORKERS:-1,2,4,8}"
+benchtime="${BENCHTIME:-300ms}"
+out="BENCH_KERNELS.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+# The package path must precede -workers: go test stops reading package
+# arguments at the first flag it does not recognise itself.
+go test -run '^$' -bench 'KernelMatMul|KernelConvForward' \
+    -benchtime "$benchtime" . -workers "$workers" | tee "$raw"
+go test -run '^$' -bench 'Conv2DForward' \
+    -benchtime "$benchtime" ./internal/nn -workers "$workers" | tee -a "$raw"
+go test -run '^$' -bench 'KernelMatMulWorkers|AxpyWorkers' \
+    -benchtime "$benchtime" ./internal/tensor -workers "$workers" | tee -a "$raw"
+
+{
+    printf '{\n'
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%d)"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "gomaxprocs": %s,\n' "$(nproc)"
+    printf '  "benchtime": "%s",\n' "$benchtime"
+    printf '  "note": "ns/op per benchmark. Worker sweeps (…/wN) run the same bitwise-identical kernels at different parallel.SetWorkers budgets; on a single-core machine (gomaxprocs 1) the caller drains every shard itself, so ratios stay ~1 and the multi-worker entries measure dispatch overhead, not speedup. Regenerate on a multi-core box with scripts/bench_kernels.sh to see scaling.",\n'
+    printf '  "results_ns_per_op": {\n'
+    awk '/^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        sub(/^Benchmark/, "", name)
+        lines[n++] = sprintf("    \"%s\": %s", name, $3)
+    }
+    END {
+        for (i = 0; i < n; i++)
+            printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
+    }' "$raw"
+    printf '  }\n'
+    printf '}\n'
+} > "$out"
+
+echo "wrote $out"

@@ -1,0 +1,23 @@
+#!/bin/sh
+# CI gate: vet + build + race-clean internal test suite.
+#
+#   scripts/check.sh        # fast local gate (race leg runs -short)
+#   FULL=1 scripts/check.sh # CI mode: full race suite, no -short
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+short="-short"
+if [ "${FULL:-0}" = "1" ]; then
+    short=""
+fi
+echo "==> go test -race ${short} ./internal/..."
+# shellcheck disable=SC2086
+go test -race ${short} ./internal/...
+
+echo "OK"
