@@ -28,7 +28,8 @@ func main() {
 	batch := flag.Int("batch", 0, "minibatch size M (0 = workload default)")
 	epochs := flag.Int("epochs", 0, "epochs (0 = workload default)")
 	seed := flag.Int64("seed", 1, "random seed")
-	allreduce := flag.String("allreduce", "tree", "SASGD collective: tree or ring")
+	allreduce := flag.String("allreduce", "tree", "SASGD collective: tree, ring, ptree (chunked pipelined tree) or rhd (recursive halving/doubling)")
+	commChunk := flag.Int("comm-chunk", 0, "ptree chunk size in float64 words (0 = SASGD_COMM_CHUNK env or 8192)")
 	momentum := flag.Float64("momentum", 0, "EAMSGD local momentum (0 = default, negative = none)")
 	topk := flag.Float64("topk", 0, "SASGD top-k compression fraction in (0,1); 0 = dense aggregation")
 	workers := flag.Int("workers", 0, "per-learner kernel workers (0 = split SASGD_WORKERS/GOMAXPROCS across learners)")
@@ -68,6 +69,7 @@ func main() {
 		Seed:         *seed,
 		Momentum:     *momentum,
 		Allreduce:    core.AllreduceAlgo(*allreduce),
+		CommChunk:    *commChunk,
 		CompressTopK: *topk,
 		VirtualTime:  *vtime,
 		Workers:      *workers,

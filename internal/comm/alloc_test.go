@@ -1,0 +1,83 @@
+package comm
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"sasgd/internal/parallel"
+)
+
+// TestAllreduceSteadyStateAllocs pins the steady-state allocation count of
+// every allreduce implementation to zero: after a few warm-up rounds have
+// populated the group's buffer pool, repeated collectives must not touch
+// the heap at all. The aggregation loop runs every T local steps for the
+// whole training run, so a single stray allocation per round multiplies
+// into GC pressure that the kernel benchmarks then pay for.
+//
+// Methodology: the group and its rank goroutines persist across rounds
+// (per-rank start channels — a shared channel could hand two tokens to
+// one goroutine and deadlock the round), GC is disabled so sync.Pool is
+// not drained mid-measurement, and the parallel reduction runs with one
+// worker so parallel.For stays on the inline path. AllocsPerRun counts
+// mallocs process-wide, so the helper ranks' collectives are measured
+// too, not just rank 0's.
+func TestAllreduceSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocs/op is pinned in non-race builds")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	defer parallel.SetWorkers(parallel.SetWorkers(1))
+
+	cases := []struct {
+		name string
+		p, m int
+		run  func(g *Group, rank int, buf []float64)
+	}{
+		{"tree/p8", 8, 1003, func(g *Group, r int, b []float64) { g.AllreduceTree(r, b) }},
+		{"ring/p5", 5, 1003, func(g *Group, r int, b []float64) { g.AllreduceRing(r, b) }},
+		{"ptree/p8", 8, 1003, func(g *Group, r int, b []float64) { g.AllreduceTreeChunked(r, b, 64) }},
+		{"ptree/p5", 5, 1003, func(g *Group, r int, b []float64) { g.AllreduceTreeChunked(r, b, 64) }},
+		{"rhd/p8", 8, 1003, func(g *Group, r int, b []float64) { g.AllreduceRHD(r, b) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := NewGroup(tc.p)
+			bufs := make([][]float64, tc.p)
+			for r := range bufs {
+				bufs[r] = make([]float64, tc.m)
+				for i := range bufs[r] {
+					bufs[r][i] = float64(r + i)
+				}
+			}
+			start := make([]chan struct{}, tc.p)
+			done := make(chan struct{}, tc.p)
+			for r := 1; r < tc.p; r++ {
+				start[r] = make(chan struct{})
+				go func(r int) {
+					for range start[r] {
+						tc.run(g, r, bufs[r])
+						done <- struct{}{}
+					}
+				}(r)
+			}
+			round := func() {
+				for r := 1; r < tc.p; r++ {
+					start[r] <- struct{}{}
+				}
+				tc.run(g, 0, bufs[0])
+				for r := 1; r < tc.p; r++ {
+					<-done
+				}
+			}
+			for i := 0; i < 5; i++ {
+				round() // warm the pool and the runtime's goroutine caches
+			}
+			if avg := testing.AllocsPerRun(10, round); avg != 0 {
+				t.Errorf("%s: %.1f allocs per steady-state allreduce round, want 0", tc.name, avg)
+			}
+			for r := 1; r < tc.p; r++ {
+				close(start[r])
+			}
+		})
+	}
+}

@@ -1,9 +1,62 @@
 package comm
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 )
+
+// BenchmarkCommAllreduce sweeps every allreduce implementation over group
+// size and message length; scripts/bench_comm.sh turns the ns/op figures
+// into words/sec in BENCH_COMM.json. The group (and therefore its buffer
+// pool) persists across iterations, so after the first round the numbers
+// are the zero-allocation steady state that training sees — all p ranks
+// run the collective loop in lockstep, as the bulk-synchronous discipline
+// requires.
+func BenchmarkCommAllreduce(b *testing.B) {
+	for _, algo := range []string{"tree", "ring", "ptree", "rhd"} {
+		for _, p := range []int{2, 4, 8} {
+			for _, m := range []int{10_000, 1_000_000} {
+				b.Run(fmt.Sprintf("%s/p%d/m%d", algo, p, m), func(b *testing.B) {
+					benchCommAllreduce(b, algo, p, m)
+				})
+			}
+		}
+	}
+}
+
+func benchCommAllreduce(b *testing.B, algo string, p, m int) {
+	g := NewGroup(p)
+	bufs := make([][]float64, p)
+	for r := range bufs {
+		bufs[r] = make([]float64, m)
+	}
+	run := func(r int) {
+		switch algo {
+		case "tree":
+			g.AllreduceTree(r, bufs[r])
+		case "ring":
+			g.AllreduceRing(r, bufs[r])
+		case "ptree":
+			g.AllreduceTreeChunked(r, bufs[r], 0)
+		case "rhd":
+			g.AllreduceRHD(r, bufs[r])
+		}
+	}
+	b.SetBytes(int64(m * 8))
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				run(r)
+			}
+		}(r)
+	}
+	wg.Wait()
+}
 
 func benchAllreduce(b *testing.B, p, words int, ring bool) {
 	b.Helper()

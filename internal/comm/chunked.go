@@ -1,0 +1,255 @@
+package comm
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+)
+
+// Chunked, pipelined collectives. The monolithic binomial tree ships the
+// whole m-word buffer through every tree level in one message, so each
+// level's transfer strictly follows the previous one and the reduce and
+// broadcast phases cannot overlap: 2·m·log p words of serialized wire
+// time at the root. Splitting the buffer into fixed-size chunks and
+// streaming them through the tree (Sergeev & Del Balso's Horovod does
+// the same over NCCL rings) lets chunk c+1 climb the reduce tree while
+// chunk c descends in broadcast, collapsing the critical path to roughly
+// 2·(m + chunks·latency) — the hardware's pipe rate rather than the
+// algorithm's depth. AllreduceRHD is the bandwidth-optimal alternative
+// for power-of-two groups: Rabenseifner's recursive halving/doubling
+// moves only 2m(p−1)/p words per learner in 2·log p steps.
+
+// DefaultChunkWords is the built-in chunk size (float64 words) of the
+// pipelined collectives: 8192 words = 64 KiB, large enough that per-chunk
+// latency is amortized, small enough that paper-scale models (≈0.5–2M
+// params) split into dozens of pipeline stages.
+const DefaultChunkWords = 8192
+
+var (
+	chunkOnce    sync.Once
+	defaultChunk int
+)
+
+// DefaultChunk returns the chunk size used when a caller passes a
+// non-positive chunk: the SASGD_COMM_CHUNK environment variable when set
+// to a positive integer, otherwise DefaultChunkWords.
+func DefaultChunk() int {
+	chunkOnce.Do(func() {
+		defaultChunk = DefaultChunkWords
+		if s := os.Getenv("SASGD_COMM_CHUNK"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				defaultChunk = v
+			}
+		}
+	})
+	return defaultChunk
+}
+
+// AllreduceTreeChunked sums buf elementwise across all learners with a
+// chunked, pipelined binomial tree, leaving the global sum in every
+// learner's buf. buf is split into ⌈m/chunkWords⌉ chunks; each chunk is
+// reduced to rank 0 and broadcast back exactly as AllreduceTree would
+// reduce the whole buffer, so the per-element summation order — and
+// therefore the result, bit for bit — is identical to the monolithic
+// tree at every chunk size.
+//
+// Pipelining: each learner runs its reduce stream up to PipelineDepth
+// chunks ahead of its broadcast stream, so while chunk c's broadcast
+// descends the tree, chunks c+1 … c+PipelineDepth's partial sums are
+// already climbing it. Sends are asynchronous up to the mailbox capacity
+// (sized from PipelineDepth — see mailboxCap for the deadlock-freedom
+// argument); reduce hand-offs are zero-copy subslices of buf (the parent
+// consumes chunk c before it forwards broadcast chunk c, so the child
+// cannot observe its segment being read while overwriting it), and
+// broadcast copies come from the group's pool, so the steady-state
+// allocation count is zero.
+//
+// chunkWords ≤ 0 selects DefaultChunk (SASGD_COMM_CHUNK).
+func (g *Group) AllreduceTreeChunked(rank int, buf []float64, chunkWords int) {
+	g.checkRank(rank)
+	if g.p == 1 || len(buf) == 0 {
+		return
+	}
+	if chunkWords <= 0 {
+		chunkWords = DefaultChunk()
+	}
+	nchunks := (len(buf) + chunkWords - 1) / chunkWords
+	// entry is the learner's simulated time when the collective starts: the
+	// moment every chunk's local contribution exists. Each chunk's sends are
+	// stamped with the chunk's own causal ready time — entry joined with the
+	// arrivals of that chunk's inputs — rather than the learner's scalar
+	// clock, which the interleaved loop keeps Synced to *later* chunks'
+	// arrivals and would otherwise serialize the two streams (see
+	// sendMsgAt). ready ring-buffers the reduce-ready times of the at most
+	// PipelineDepth chunks in flight between the two streams.
+	entry := 0.0
+	if g.clocks != nil {
+		entry = g.clocks[rank].Now()
+	}
+	var ready [PipelineDepth + 1]float64
+	reduced := 0
+	for c := 0; c < nchunks; c++ {
+		for reduced < nchunks && reduced < c+PipelineDepth {
+			ready[reduced%(PipelineDepth+1)] = g.reduceChunk(rank, buf, reduced, chunkWords, entry)
+			reduced++
+		}
+		g.broadcastChunk(rank, buf, c, chunkWords, ready[c%(PipelineDepth+1)])
+	}
+}
+
+// chunkSeg returns chunk c of buf at the given chunk size (the final
+// chunk may be short).
+func chunkSeg(buf []float64, c, chunkWords int) []float64 {
+	lo := c * chunkWords
+	hi := lo + chunkWords
+	if hi > len(buf) {
+		hi = len(buf)
+	}
+	return buf[lo:hi]
+}
+
+// reduceChunk runs one chunk of the binomial-tree reduce: receive each
+// completed subtree's partial in ascending step order (the monolithic
+// ReduceTree's order, keeping summation bitwise identical), then hand
+// the accumulated segment up. It returns the chunk's causal ready time —
+// entry joined with the arrivals of every partial folded into the
+// segment — which stamps the upward send and, at the root, gates the
+// chunk's broadcast.
+func (g *Group) reduceChunk(rank int, buf []float64, c, chunkWords int, entry float64) float64 {
+	seg := chunkSeg(buf, c, chunkWords)
+	ready := entry
+	for step := 1; step < g.p; step <<= 1 {
+		if rank%(2*step) != 0 {
+			// Zero-copy hand-off: the parent reads seg while reducing
+			// chunk c and does so before it forwards broadcast chunk c,
+			// which is what gates this learner's next write to seg.
+			g.sendMsgAt(rank, rank-step, message{data: seg}, ready)
+			return ready
+		}
+		if peer := rank + step; peer < g.p {
+			in := g.recvMsg(rank, peer)
+			if len(in.data) != len(seg) {
+				panic(fmt.Sprintf("comm: chunked reduce length mismatch %d vs %d", len(in.data), len(seg)))
+			}
+			if in.arrive > ready {
+				ready = in.arrive
+			}
+			addInto(seg, in.data)
+			g.releaseMsg(in)
+		}
+	}
+	return ready
+}
+
+// broadcastChunk runs one chunk of the binomial-tree broadcast of rank
+// 0's reduced segment, with pooled transfer copies. ready is the chunk's
+// causal time at this learner: the root passes the chunk's reduce-ready
+// time, and interior learners overwrite it with the parent's arrival
+// before their own forwards (their receiving step precedes their sending
+// steps in the descent).
+func (g *Group) broadcastChunk(rank int, buf []float64, c, chunkWords int, ready float64) {
+	seg := chunkSeg(buf, c, chunkWords)
+	top := 1
+	for top < g.p {
+		top <<= 1
+	}
+	for step := top >> 1; step >= 1; step >>= 1 {
+		switch {
+		case rank%(2*step) == 0:
+			if peer := rank + step; peer < g.p {
+				pb := g.acquire(len(seg))
+				copy(pb.data, seg)
+				g.sendMsgAt(rank, peer, message{data: pb.data, pb: pb}, ready)
+			}
+		case rank%(2*step) == step:
+			in := g.recvMsg(rank, rank-step)
+			if len(in.data) != len(seg) {
+				panic(fmt.Sprintf("comm: chunked broadcast length mismatch %d vs %d", len(in.data), len(seg)))
+			}
+			ready = in.arrive
+			copy(seg, in.data)
+			g.releaseMsg(in)
+		}
+	}
+}
+
+// AllreduceRHD sums buf elementwise across all learners with
+// Rabenseifner's recursive halving/doubling: a reduce-scatter phase that
+// halves the active segment while doubling the pair distance is mirrored
+// by an allgather phase that doubles the segment back, moving 2m(p−1)/p
+// words per learner — the ring's bandwidth optimum — in only 2·log₂p
+// latency steps. It requires a power-of-two group and falls back to the
+// (bitwise-stable) binomial tree otherwise.
+//
+// The pairwise exchanges associate the sum differently from the binomial
+// tree, so results are value-equal within floating-point reassociation
+// tolerance (≈1e-12 absolute on O(1) data) rather than bit-identical;
+// callers that need bit-stability use the tree family.
+func (g *Group) AllreduceRHD(rank int, buf []float64) {
+	g.checkRank(rank)
+	p := g.p
+	if p == 1 {
+		return
+	}
+	if p&(p-1) != 0 {
+		g.AllreduceTree(rank, buf)
+		return
+	}
+	m := len(buf)
+	// Segment bounds before each halving step, reused (in reverse) by the
+	// allgather. Fixed-size stacks keep the call allocation-free; 64
+	// levels covers any conceivable p.
+	var loStack, hiStack [64]int
+	lo, hi := 0, m
+	level := 0
+
+	// Reduce-scatter by recursive vector halving: at distance d the pair
+	// (rank, rank^d) split their common segment in half, each keeping the
+	// half matching its d-bit and sending the other. Sends are pooled
+	// copies so neither side ever aliases the other's buffer.
+	for d := p / 2; d >= 1; d >>= 1 {
+		loStack[level], hiStack[level] = lo, hi
+		level++
+		peer := rank ^ d
+		mid := lo + (hi-lo)/2
+		keepLo, keepHi, sendLo, sendHi := lo, mid, mid, hi
+		if rank&d != 0 {
+			keepLo, keepHi, sendLo, sendHi = mid, hi, lo, mid
+		}
+		pb := g.acquire(sendHi - sendLo)
+		copy(pb.data, buf[sendLo:sendHi])
+		g.sendMsg(rank, peer, message{data: pb.data, pb: pb})
+		in := g.recvMsg(rank, peer)
+		if len(in.data) != keepHi-keepLo {
+			panic(fmt.Sprintf("comm: AllreduceRHD halving length mismatch %d vs %d", len(in.data), keepHi-keepLo))
+		}
+		addInto(buf[keepLo:keepHi], in.data)
+		g.releaseMsg(in)
+		lo, hi = keepLo, keepHi
+	}
+
+	// Allgather by recursive doubling: the halving steps replayed in
+	// reverse, each pair exchanging its reduced segment so both end up
+	// owning the level's full segment.
+	for d := 1; d < p; d <<= 1 {
+		level--
+		peer := rank ^ d
+		pb := g.acquire(hi - lo)
+		copy(pb.data, buf[lo:hi])
+		g.sendMsg(rank, peer, message{data: pb.data, pb: pb})
+		in := g.recvMsg(rank, peer)
+		plo, phi := loStack[level], hiStack[level]
+		mid := plo + (phi-plo)/2
+		rl, rh := mid, phi
+		if rank&d != 0 {
+			rl, rh = plo, mid
+		}
+		if len(in.data) != rh-rl {
+			panic(fmt.Sprintf("comm: AllreduceRHD doubling length mismatch %d vs %d", len(in.data), rh-rl))
+		}
+		copy(buf[rl:rh], in.data)
+		g.releaseMsg(in)
+		lo, hi = plo, phi
+	}
+}

@@ -1,21 +1,60 @@
 package comm
 
-import "fmt"
+import (
+	"fmt"
+
+	"sasgd/internal/parallel"
+)
 
 // The collectives below are the textbook message-passing algorithms —
-// binomial-tree reduce/broadcast and ring reduce-scatter/allgather —
-// executed by p cooperating goroutines over the group's channels. Each
-// learner calls the method with its own rank; all learners must call the
-// same collectives in the same order (bulk-synchronous discipline), which
-// is exactly how Algorithm 1 in the paper uses them.
+// binomial-tree reduce/broadcast, ring reduce-scatter/allgather, and (in
+// chunked.go) their chunked, pipelined and recursive-halving/doubling
+// refinements — executed by p cooperating goroutines over the group's
+// channels. Each learner calls the method with its own rank; all learners
+// must call the same collectives in the same order (bulk-synchronous
+// discipline), which is exactly how Algorithm 1 in the paper uses them.
+//
+// Allocation discipline: every wire copy is drawn from the group's
+// buffer pool and released by its receiver (pool.go), so the dense
+// collectives allocate nothing in steady state; reduction loops run
+// through internal/parallel above reduceGrain, with per-element order
+// unchanged from the serial loop, so results are bitwise independent of
+// the worker budget.
+
+// reduceGrain is the minimum number of elements per shard for the
+// parallel reduction loops, matching the elementwise-kernel grain in
+// internal/tensor: below it, dispatch overhead would dominate the ~1
+// flop/element add.
+const reduceGrain = 1 << 15
+
+// addInto accumulates src into dst elementwise. Shards write disjoint
+// ranges and each element keeps its serial accumulation order, so the
+// result is bitwise identical at every worker count. The serial case is
+// branched in the caller (parallel.Shards) so the closure only
+// materializes — and only then allocates — when the loop actually
+// shards, keeping single-worker steady state at zero allocs/op.
+func addInto(dst, src []float64) {
+	if parallel.Shards(len(dst), reduceGrain) <= 1 {
+		for i := range dst {
+			dst[i] += src[i]
+		}
+		return
+	}
+	parallel.For(len(dst), reduceGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] += src[i]
+		}
+	})
+}
 
 // AllreduceTree sums buf elementwise across all learners using a binomial
 // tree (reduce to rank 0, then broadcast), leaving the global sum in
 // every learner's buf. The data volume per learner is O(m log p), the
-// figure the paper contrasts with the parameter server's O(mp).
+// figure the paper contrasts with the parameter server's O(mp). It is
+// the single-chunk case of the chunked pipelined tree, so the message
+// sequence and summation order are exactly the textbook algorithm's.
 func (g *Group) AllreduceTree(rank int, buf []float64) {
-	g.ReduceTree(rank, buf)
-	g.BroadcastTree(rank, buf)
+	g.AllreduceTreeChunked(rank, buf, len(buf))
 }
 
 // ReduceTree sums buf elementwise across learners into rank 0's buf using
@@ -25,19 +64,20 @@ func (g *Group) ReduceTree(rank int, buf []float64) {
 	g.checkRank(rank)
 	for step := 1; step < g.p; step <<= 1 {
 		if rank%(2*step) != 0 {
-			// This learner's subtree is complete: hand the partial sum up.
+			// This learner's subtree is complete: hand the partial sum up
+			// (zero-copy — the parent consumes it before this learner can
+			// touch buf again).
 			g.Send(rank, rank-step, buf)
 			return
 		}
 		peer := rank + step
 		if peer < g.p {
-			in := g.Recv(rank, peer)
-			if len(in) != len(buf) {
-				panic(fmt.Sprintf("comm: ReduceTree length mismatch %d vs %d", len(in), len(buf)))
+			in := g.recvMsg(rank, peer)
+			if len(in.data) != len(buf) {
+				panic(fmt.Sprintf("comm: ReduceTree length mismatch %d vs %d", len(in.data), len(buf)))
 			}
-			for i, v := range in {
-				buf[i] += v
-			}
+			addInto(buf, in.data)
+			g.releaseMsg(in)
 		}
 	}
 }
@@ -56,17 +96,19 @@ func (g *Group) BroadcastTree(rank int, buf []float64) {
 		case rank%(2*step) == 0:
 			peer := rank + step
 			if peer < g.p {
-				// Send a copy: the receiver owns the payload.
-				out := make([]float64, len(buf))
-				copy(out, buf)
-				g.Send(rank, peer, out)
+				// Send a pooled copy: the receiver owns the payload and
+				// returns it to the pool once consumed.
+				pb := g.acquire(len(buf))
+				copy(pb.data, buf)
+				g.sendMsg(rank, peer, message{data: pb.data, pb: pb})
 			}
 		case rank%(2*step) == step:
-			in := g.Recv(rank, rank-step)
-			if len(in) != len(buf) {
-				panic(fmt.Sprintf("comm: BroadcastTree length mismatch %d vs %d", len(in), len(buf)))
+			in := g.recvMsg(rank, rank-step)
+			if len(in.data) != len(buf) {
+				panic(fmt.Sprintf("comm: BroadcastTree length mismatch %d vs %d", len(in.data), len(buf)))
 			}
-			copy(buf, in)
+			copy(buf, in.data)
+			g.releaseMsg(in)
 		}
 	}
 }
@@ -82,12 +124,12 @@ func (g *Group) AllreduceRing(rank int, buf []float64) {
 		return
 	}
 	m := len(buf)
-	// chunk c covers [bounds[c], bounds[c+1])
-	bounds := make([]int, p+1)
-	for c := 0; c <= p; c++ {
-		bounds[c] = c * m / p
+	// chunk c covers [c·m/p, (c+1)·m/p) — computed inline so the
+	// steady-state path allocates nothing.
+	chunk := func(c int) []float64 {
+		c %= p
+		return buf[c*m/p : (c+1)*m/p]
 	}
-	chunk := func(c int) []float64 { return buf[bounds[c%p]:bounds[c%p+1]] }
 	next := (rank + 1) % p
 	prev := (rank - 1 + p) % p
 
@@ -96,27 +138,32 @@ func (g *Group) AllreduceRing(rank int, buf []float64) {
 	for s := 0; s < p-1; s++ {
 		sendC := (rank - s + p + p) % p
 		recvC := (rank - s - 1 + p + p) % p
-		out := make([]float64, len(chunk(sendC)))
-		copy(out, chunk(sendC))
-		g.Send(rank, next, out)
-		in := g.Recv(rank, prev)
+		src := chunk(sendC)
+		pb := g.acquire(len(src))
+		copy(pb.data, src)
+		g.sendMsg(rank, next, message{data: pb.data, pb: pb})
+		in := g.recvMsg(rank, prev)
 		dst := chunk(recvC)
-		if len(in) != len(dst) {
-			panic(fmt.Sprintf("comm: AllreduceRing length mismatch %d vs %d", len(in), len(dst)))
+		if len(in.data) != len(dst) {
+			panic(fmt.Sprintf("comm: AllreduceRing length mismatch %d vs %d", len(in.data), len(dst)))
 		}
-		for i, v := range in {
-			dst[i] += v
-		}
+		addInto(dst, in.data)
+		g.releaseMsg(in)
 	}
 	// Allgather: circulate the completed chunks.
 	for s := 0; s < p-1; s++ {
 		sendC := (rank + 1 - s + p + p) % p
 		recvC := (rank - s + p + p) % p
-		out := make([]float64, len(chunk(sendC)))
-		copy(out, chunk(sendC))
-		g.Send(rank, next, out)
-		in := g.Recv(rank, prev)
+		src := chunk(sendC)
+		pb := g.acquire(len(src))
+		copy(pb.data, src)
+		g.sendMsg(rank, next, message{data: pb.data, pb: pb})
+		in := g.recvMsg(rank, prev)
 		dst := chunk(recvC)
-		copy(dst, in)
+		if len(in.data) != len(dst) {
+			panic(fmt.Sprintf("comm: AllreduceRing length mismatch %d vs %d", len(in.data), len(dst)))
+		}
+		copy(dst, in.data)
+		g.releaseMsg(in)
 	}
 }

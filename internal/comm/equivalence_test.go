@@ -1,0 +1,165 @@
+package comm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// makeBufs returns p random length-m buffers (deterministic in p, m) plus
+// their elementwise monolithic binomial-tree allreduce result, computed
+// through the real collective so it carries the tree's exact summation
+// order.
+func makeBufs(p, m int, seed int64) (bufs [][]float64, treeSum []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	orig := make([][]float64, p)
+	for r := range orig {
+		orig[r] = make([]float64, m)
+		for i := range orig[r] {
+			orig[r][i] = rng.NormFloat64()
+		}
+	}
+	ref := cloneBufs(orig)
+	g := NewGroup(p)
+	runGroup(p, g, func(rank int) { g.AllreduceTree(rank, ref[rank]) })
+	return orig, ref[0]
+}
+
+func cloneBufs(src [][]float64) [][]float64 {
+	out := make([][]float64, len(src))
+	for i := range src {
+		out[i] = append([]float64(nil), src[i]...)
+	}
+	return out
+}
+
+// TestAllreduceAlgorithmsEquivalent checks every allreduce implementation
+// against the monolithic binomial tree across group sizes (including
+// non-powers of two) and message lengths not divisible by p or by the
+// chunk size. The chunked pipelined tree preserves the tree's summation
+// order and must agree bit for bit at every chunk size; ring and rhd
+// reassociate the sum and must agree within 1e-12.
+func TestAllreduceAlgorithmsEquivalent(t *testing.T) {
+	const tol = 1e-12
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		for _, m := range []int{1, 5, 23, 64, 129} {
+			orig, want := makeBufs(p, m, int64(1000*p+m))
+
+			for _, chunk := range []int{1, 3, 7, 16, m + 1} {
+				got := cloneBufs(orig)
+				g := NewGroup(p)
+				runGroup(p, g, func(rank int) { g.AllreduceTreeChunked(rank, got[rank], chunk) })
+				for r := 0; r < p; r++ {
+					for i := range want {
+						if got[r][i] != want[i] {
+							t.Fatalf("p=%d m=%d chunk=%d rank=%d[%d]: ptree %g != tree %g (must be bitwise)",
+								p, m, chunk, r, i, got[r][i], want[i])
+						}
+					}
+				}
+			}
+
+			ring := cloneBufs(orig)
+			gr := NewGroup(p)
+			runGroup(p, gr, func(rank int) { gr.AllreduceRing(rank, ring[rank]) })
+			rhd := cloneBufs(orig)
+			gh := NewGroup(p)
+			runGroup(p, gh, func(rank int) { gh.AllreduceRHD(rank, rhd[rank]) })
+			for r := 0; r < p; r++ {
+				for i := range want {
+					if d := math.Abs(ring[r][i] - want[i]); d > tol {
+						t.Fatalf("p=%d m=%d rank=%d[%d]: ring %g vs tree %g (|Δ|=%g)", p, m, r, i, ring[r][i], want[i], d)
+					}
+					if d := math.Abs(rhd[r][i] - want[i]); d > tol {
+						t.Fatalf("p=%d m=%d rank=%d[%d]: rhd %g vs tree %g (|Δ|=%g)", p, m, r, i, rhd[r][i], want[i], d)
+					}
+				}
+			}
+			// Non-power-of-two groups fall back to the tree, where rhd
+			// must be bitwise identical, not merely close.
+			if p&(p-1) != 0 {
+				for r := 0; r < p; r++ {
+					for i := range want {
+						if rhd[r][i] != want[i] {
+							t.Fatalf("p=%d m=%d rank=%d[%d]: rhd fallback %g != tree %g (must be bitwise)",
+								p, m, r, i, rhd[r][i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAllreduceRHDMovesRingVolume pins rhd's wire volume: for
+// power-of-two p each learner sends m/2 + m/4 + … + m/p words per phase,
+// 2m(p−1)/p in total — the ring's bandwidth optimum — versus the tree's
+// 2(p−1)m group total concentrated through the root.
+func TestAllreduceRHDMovesRingVolume(t *testing.T) {
+	p, m := 8, 64
+	bufs := make([][]float64, p)
+	for r := range bufs {
+		bufs[r] = make([]float64, m)
+	}
+	g := NewGroup(p)
+	runGroup(p, g, func(rank int) { g.AllreduceRHD(rank, bufs[rank]) })
+	want := int64(2 * m * (p - 1) / p * p)
+	if got := g.WordsSent(); got != want {
+		t.Errorf("rhd WordsSent = %d, want %d", got, want)
+	}
+}
+
+// TestChunkedTreeMatchesMonolithicTraffic: chunking changes the message
+// schedule, not the volume.
+func TestChunkedTreeMatchesMonolithicTraffic(t *testing.T) {
+	p, m, chunk := 4, 50, 7
+	bufs := make([][]float64, p)
+	for r := range bufs {
+		bufs[r] = make([]float64, m)
+	}
+	g := NewGroup(p)
+	runGroup(p, g, func(rank int) { g.AllreduceTreeChunked(rank, bufs[rank], chunk) })
+	want := int64(2 * (p - 1) * m)
+	if got := g.WordsSent(); got != want {
+		t.Errorf("chunked tree WordsSent = %d, want %d", got, want)
+	}
+}
+
+// TestChunkedTreePipelinesSimulatedTime: under a simulated fabric whose
+// links serialize successive chunks, the pipelined tree's completion time
+// must beat the monolithic tree's strictly leveled schedule (the whole
+// point of chunking) on a bandwidth-dominated transfer.
+func TestChunkedTreePipelinesSimulatedTime(t *testing.T) {
+	const p, m = 8, 1 << 16
+	run := func(chunk int) float64 {
+		clocks := make([]Clock, p)
+		for i := range clocks {
+			clocks[i] = &simpleClock{}
+		}
+		// 1 second per word, no latency: pure bandwidth pipeline.
+		g := NewSimGroup(p, clocks, wordCost{})
+		bufs := make([][]float64, p)
+		for r := range bufs {
+			bufs[r] = make([]float64, m)
+		}
+		runGroup(p, g, func(rank int) { g.AllreduceTreeChunked(rank, bufs[rank], chunk) })
+		max := 0.0
+		for _, c := range clocks {
+			if c.Now() > max {
+				max = c.Now()
+			}
+		}
+		return max
+	}
+	mono := run(m)        // single chunk = monolithic schedule
+	piped := run(m / 64)  // 64-stage pipeline
+	if piped >= mono*0.75 {
+		t.Errorf("pipelined allreduce not faster: chunked %.0f vs monolithic %.0f simulated seconds", piped, mono)
+	}
+}
+
+// wordCost charges one simulated second per word and nothing for latency.
+type wordCost struct{}
+
+func (wordCost) XferTime(_, _ int, words int) float64 { return float64(words) }
+func (wordCost) ServerOpTime(int, int, int) float64   { return 0 }

@@ -3,15 +3,45 @@ package comm
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // message is one point-to-point transfer between learners. arrive is the
 // simulated time at which the payload is fully received (0 when the group
-// has no cost model).
+// has no cost model). pb is non-nil when the payload is owned by the
+// group's buffer pool, in which case the receiver must release it after
+// consuming the data.
 type message struct {
 	data   []float64
+	pb     *poolBuf
 	arrive float64
 }
+
+// PipelineDepth is the pipeline window of the chunked collectives: the
+// maximum number of chunks a learner's reduce stream may run ahead of its
+// broadcast stream (see AllreduceTreeChunked). It also sizes the per-pair
+// mailboxes, so the two must move together.
+const PipelineDepth = 8
+
+// mailboxCap is the capacity of each per-(sender, receiver) channel,
+// sized from the pipeline depth rather than a guessed constant.
+//
+// Deadlock-freedom argument: every collective is a fixed schedule of
+// sends and receives that both endpoints of a pair walk in the same
+// per-pair order (bulk-synchronous discipline), so a receive can only
+// wait for a send that its peer has not issued yet, and the dependency
+// graph of receives follows the collective's dataflow — chunk index
+// major, tree level minor — which is acyclic. Sends therefore only block
+// when a mailbox is full. The windowed pipelined tree bounds the number
+// of undelivered messages per pair: a child may run its reduce stream at
+// most PipelineDepth chunks past its last finished broadcast chunk, and
+// its parent consumes reduce chunk c before forwarding broadcast chunk c,
+// so at most PipelineDepth reduce messages plus the one broadcast a
+// parent can publish ahead of a gating child are ever queued on one pair.
+// All other collectives keep at most two messages in flight per pair.
+// With capacity PipelineDepth+2 sends never block, leaving only the
+// acyclic receive dependencies — no cycle, no deadlock.
+const mailboxCap = PipelineDepth + 2
 
 // Group is a fixed set of p learners that communicate through buffered
 // per-(sender, receiver) channels, giving MPI-like ordered point-to-point
@@ -21,16 +51,26 @@ type message struct {
 // fabric cost model; every send then stamps its message with an arrival
 // time and every receive synchronizes the receiver's clock, so collective
 // completion times fall out of the actual message schedule rather than a
-// closed-form estimate.
+// closed-form estimate. Successive transfers on the same directed pair
+// are serialized on the simulated link (a chunk cannot depart before the
+// previous chunk has drained), which is what makes the chunked,
+// pipelined collectives show their real overlap instead of a fictitious
+// p-fold bandwidth.
 type Group struct {
 	p      int
 	mail   [][]chan message // mail[to][from]
 	clocks []Clock
 	cost   CostModel
 	bar    *Barrier
+	pool   sync.Pool // *poolBuf payload recycling (see pool.go)
 
-	mu        sync.Mutex
-	wordsSent int64 // total float64 words moved, for the traffic accounting tests
+	// linkFree[from][to] is the simulated time at which the directed
+	// (from → to) link finishes its last accepted transfer; nil when the
+	// group is unsimulated. Each row is written only by the goroutine
+	// driving rank `from`, so no locking is needed.
+	linkFree [][]float64
+
+	wordsSent atomic.Int64 // total float64 words moved, for the traffic accounting tests
 }
 
 // NewGroup returns a group of p learners with no time simulation.
@@ -51,10 +91,13 @@ func NewSimGroup(p int, clocks []Clock, cost CostModel) *Group {
 	for to := range g.mail {
 		g.mail[to] = make([]chan message, p)
 		for from := range g.mail[to] {
-			// Buffer a few messages so simple send-then-recv exchanges
-			// don't deadlock; collectives never have more than one
-			// outstanding message per (from, to) pair.
-			g.mail[to][from] = make(chan message, 4)
+			g.mail[to][from] = make(chan message, mailboxCap)
+		}
+	}
+	if clocks != nil && cost != nil {
+		g.linkFree = make([][]float64, p)
+		for from := range g.linkFree {
+			g.linkFree[from] = make([]float64, p)
 		}
 	}
 	return g
@@ -75,39 +118,69 @@ func (g *Group) Clock(rank int) Clock {
 // WordsSent returns the total number of float64 words sent through the
 // group so far (point-to-point only; server traffic is accounted by the
 // server).
-func (g *Group) WordsSent() int64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.wordsSent
-}
+func (g *Group) WordsSent() int64 { return g.wordsSent.Load() }
 
 // Send transfers data from learner `from` to learner `to`. The slice is
 // handed off, not copied: the sender must not reuse it until the receiver
-// is done (the collectives allocate fresh buffers where needed).
+// is done (the collectives draw transfer copies from the group's pool
+// where needed).
 func (g *Group) Send(from, to int, data []float64) {
+	g.sendMsg(from, to, message{data: data})
+}
+
+// sendMsg is the internal send: the payload is ready at the sender's
+// current simulated time. m.pb marks pool-owned payloads the receiver
+// must release.
+func (g *Group) sendMsg(from, to int, m message) {
+	ready := 0.0
+	if g.linkFree != nil {
+		ready = g.clocks[from].Now()
+	}
+	g.sendMsgAt(from, to, m, ready)
+}
+
+// sendMsgAt is sendMsg with an explicit data-ready time: the simulated
+// instant the payload's value dependencies were satisfied. The chunked
+// collectives pass the causal time of the individual chunk (its inputs'
+// arrivals) rather than the rank's scalar clock, because the clock also
+// absorbs the rank's *other* stream — a broadcast arrival must not delay
+// the departure of an independent reduce chunk, or the two pipelined
+// streams would falsely serialize into half-duplex. The transfer departs
+// once the data is ready and the directed link has drained its previous
+// message, which is what makes chunk-level pipelining visible to the
+// fabric simulation.
+func (g *Group) sendMsgAt(from, to int, m message, ready float64) {
 	g.checkRank(from)
 	g.checkRank(to)
-	arrive := 0.0
-	if g.clocks != nil && g.cost != nil {
-		arrive = g.clocks[from].Now() + g.cost.XferTime(from, to, len(data))
+	if g.linkFree != nil {
+		depart := ready
+		if busy := g.linkFree[from][to]; busy > depart {
+			depart = busy
+		}
+		m.arrive = depart + g.cost.XferTime(from, to, len(m.data))
+		g.linkFree[from][to] = m.arrive
 	}
-	g.mu.Lock()
-	g.wordsSent += int64(len(data))
-	g.mu.Unlock()
-	g.mail[to][from] <- message{data: data, arrive: arrive}
+	g.wordsSent.Add(int64(len(m.data)))
+	g.mail[to][from] <- m
 }
 
 // Recv blocks until a message from learner `from` arrives at learner
 // `to`, synchronizes to's clock with the arrival time, and returns the
 // payload.
 func (g *Group) Recv(to, from int) []float64 {
+	return g.recvMsg(to, from).data
+}
+
+// recvMsg is the internal receive; collectives use it to get the pool
+// ownership marker alongside the payload.
+func (g *Group) recvMsg(to, from int) message {
 	g.checkRank(from)
 	g.checkRank(to)
 	m := <-g.mail[to][from]
 	if g.clocks != nil {
 		g.clocks[to].Sync(m.arrive)
 	}
-	return m.data
+	return m
 }
 
 func (g *Group) checkRank(r int) {

@@ -1,0 +1,47 @@
+package comm
+
+// Per-group payload recycling. Every copy a collective puts on the wire
+// is drawn from the group's pool and returned to it by the receiver once
+// the payload has been consumed, so the steady-state allocation count of
+// the dense collectives is zero: after a warmup collective or two the
+// same few buffers circulate forever (pinned by the AllocsPerRun tests).
+//
+// The pool stores *poolBuf wrappers rather than raw slices because a
+// pointer stored in an interface{} does not allocate, while a slice
+// header does; the wrapper travels alongside the payload inside message
+// so the receiver can hand the exact same object back with one
+// pointer-typed Put. Buffers only ever grow (a wrapper whose capacity is
+// too small for a request is reallocated in place), so a group that
+// serves mixed message sizes — rhd's halving series, ring's m/p chunks —
+// converges on a stable set of max-sized buffers instead of thrashing.
+//
+// sync.Pool is already safe for concurrent use, which makes the pool
+// rank-safe: any learner goroutine may acquire or release from any rank.
+
+// poolBuf is one recyclable wire payload.
+type poolBuf struct {
+	data []float64
+}
+
+// acquire returns a pooled buffer resliced to n words (allocating only
+// when the pool is empty or the recycled buffer is too small — warmup).
+func (g *Group) acquire(n int) *poolBuf {
+	pb, _ := g.pool.Get().(*poolBuf)
+	if pb == nil {
+		pb = &poolBuf{}
+	}
+	if cap(pb.data) < n {
+		pb.data = make([]float64, n)
+	}
+	pb.data = pb.data[:n]
+	return pb
+}
+
+// releaseMsg returns a received message's payload to the pool. Messages
+// whose payload is owned by the sender (zero-copy subslice hand-offs,
+// external Send callers) carry a nil pb and are left alone.
+func (g *Group) releaseMsg(m message) {
+	if m.pb != nil {
+		g.pool.Put(m.pb)
+	}
+}

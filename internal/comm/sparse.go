@@ -3,6 +3,8 @@ package comm
 import (
 	"fmt"
 	"sort"
+
+	"sasgd/internal/parallel"
 )
 
 // Sparse aggregation support: SASGD's aggregation interval makes
@@ -67,11 +69,22 @@ func abs(v float64) float64 {
 	return v
 }
 
-// AddTo accumulates the sparse vector into dense.
+// AddTo accumulates the sparse vector into dense. Idx is strictly
+// increasing, so shards of the index list scatter into disjoint dense
+// coordinates and the parallel split is race-free and bitwise identical
+// to the serial loop at every worker count.
 func (s SparseVec) AddTo(dense []float64) {
-	for i, j := range s.Idx {
-		dense[j] += s.Val[i]
+	if parallel.Shards(len(s.Idx), reduceGrain) <= 1 {
+		for i := range s.Idx {
+			dense[s.Idx[i]] += s.Val[i]
+		}
+		return
 	}
+	parallel.For(len(s.Idx), reduceGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dense[s.Idx[i]] += s.Val[i]
+		}
+	})
 }
 
 // merge returns the coordinate-wise sum of two sorted sparse vectors.

@@ -32,10 +32,16 @@ const (
 // with.
 type AllreduceAlgo string
 
-// The implemented allreduce algorithms.
+// The implemented allreduce algorithms. The default stays "tree" so
+// default-config results are bit-stable across releases; "ptree" is
+// bitwise identical to "tree" (same summation order, chunked wire
+// schedule), while "rhd" reassociates the sum and is value-equal within
+// floating-point tolerance only.
 const (
-	AllreduceTree AllreduceAlgo = "tree" // binomial tree (paper's O(m log p))
-	AllreduceRing AllreduceAlgo = "ring" // bandwidth-optimal ring (ablation)
+	AllreduceTree  AllreduceAlgo = "tree"  // binomial tree (paper's O(m log p))
+	AllreduceRing  AllreduceAlgo = "ring"  // bandwidth-optimal ring (ablation)
+	AllreducePTree AllreduceAlgo = "ptree" // chunked, pipelined binomial tree
+	AllreduceRHD   AllreduceAlgo = "rhd"   // recursive halving/doubling (Rabenseifner); power-of-two p, tree fallback
 )
 
 // Config parameterizes a training run. The field names follow the
@@ -68,6 +74,11 @@ type Config struct {
 
 	// SASGD collective selection (default tree).
 	Allreduce AllreduceAlgo
+
+	// CommChunk is the pipelined collective's chunk size in float64
+	// words (AllreducePTree only). Zero selects the comm package default
+	// (the SASGD_COMM_CHUNK environment variable, else 8192).
+	CommChunk int
 
 	// CompressTopK, when in (0, 1), makes SASGD's aggregation sparse in
 	// space as well as in time: each learner ships only the top-k

@@ -137,6 +137,37 @@ func TestSASGDReplicasConsistentAfterFullRun(t *testing.T) {
 	}
 }
 
+func TestSASGDPipelinedTreeBitIdenticalToTree(t *testing.T) {
+	// The chunked pipelined tree replays the monolithic tree's summation
+	// order chunk by chunk, so a whole training run must agree *bitwise*
+	// with the default tree — at any chunk size, including ones that
+	// split the gradient vector unevenly. rhd reassociates, so it only
+	// gets the ring's tolerance.
+	prob := tinyProblem(160, 50, 6)
+	base := Config{Algo: AlgoSASGD, Learners: 4, Interval: 2, Gamma: 0.1, Batch: 10, Epochs: 4, Seed: 5}
+	tree := Train(base, prob)
+	for _, chunk := range []int{0, 1, 37} {
+		cfg := base
+		cfg.Allreduce = AllreducePTree
+		cfg.CommChunk = chunk
+		pt := Train(cfg, prob)
+		for i := range tree.FinalParams {
+			if tree.FinalParams[i] != pt.FinalParams[i] {
+				t.Fatalf("chunk=%d: ptree diverges from tree at %d: %g vs %g",
+					chunk, i, tree.FinalParams[i], pt.FinalParams[i])
+			}
+		}
+	}
+	cfg := base
+	cfg.Allreduce = AllreduceRHD
+	rhd := Train(cfg, prob)
+	for i := range tree.FinalParams {
+		if math.Abs(tree.FinalParams[i]-rhd.FinalParams[i]) > 1e-9 {
+			t.Fatalf("tree and rhd allreduce diverge at %d: %g vs %g", i, tree.FinalParams[i], rhd.FinalParams[i])
+		}
+	}
+}
+
 func TestSASGDStalenessIsZeroByConstruction(t *testing.T) {
 	prob := tinyProblem(120, 40, 7)
 	res := Train(Config{Algo: AlgoSASGD, Learners: 4, Interval: 5, Gamma: 0.1, Batch: 10, Epochs: 3, Seed: 1}, prob)

@@ -140,6 +140,10 @@ func aggregate(group *comm.Group, rank int, cfg Config, gs, residual, xref, para
 	switch cfg.Allreduce {
 	case AllreduceRing:
 		group.AllreduceRing(rank, gs)
+	case AllreducePTree:
+		group.AllreduceTreeChunked(rank, gs, cfg.CommChunk)
+	case AllreduceRHD:
+		group.AllreduceRHD(rank, gs)
 	default:
 		group.AllreduceTree(rank, gs)
 	}

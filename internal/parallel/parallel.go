@@ -145,6 +145,31 @@ func For(n, grain int, fn func(lo, hi int)) {
 	ForShards(n, grain, func(_, lo, hi int) { fn(lo, hi) })
 }
 
+// Shards returns the number of shards a For/ForShards call with these
+// parameters would use under the current worker budget. A result ≤ 1
+// means the call runs inline on the caller's goroutine.
+//
+// Hot, allocation-sensitive loops use this to branch to a hand-written
+// serial loop instead of calling For: the parallel dispatch path stores
+// fn in a heap-allocated call record, so escape analysis makes every
+// closure handed to For heap-allocated — even when the call would run
+// inline. Branching in the caller keeps the closure literal on the cold
+// path, so the serial path touches no heap at all (the comm collectives'
+// steady-state zero-alloc guarantee depends on this).
+func Shards(n, grain int) int {
+	if n <= 0 {
+		return 0
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	shards := n / grain
+	if w := int(budget.Load()); shards > w {
+		shards = w
+	}
+	return shards
+}
+
 // ForShards is For with the shard index exposed, so callers can maintain
 // per-shard scratch buffers. The shard count (its return value) is a pure
 // function of (n, grain, Workers()), making scratch reuse across repeated

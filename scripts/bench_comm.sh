@@ -1,0 +1,47 @@
+#!/bin/sh
+# Regenerates BENCH_COMM.json: allreduce throughput (words/sec) for every
+# collective — tree, ring, chunked pipelined tree, recursive halving/
+# doubling — across group sizes p ∈ {2,4,8} and message lengths
+# m ∈ {1e4,1e6}, the before/after figure for the pooled, pipelined
+# collectives.
+#
+#   scripts/bench_comm.sh                 # 300ms/bench
+#   BENCHTIME=1s scripts/bench_comm.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-300ms}"
+out="BENCH_COMM.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkCommAllreduce' \
+    -benchtime "$benchtime" ./internal/comm | tee "$raw"
+
+{
+    printf '{\n'
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%d)"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "gomaxprocs": %s,\n' "$(nproc)"
+    printf '  "benchtime": "%s",\n' "$benchtime"
+    printf '  "note": "Per-benchmark ns per allreduce round and words/sec (m words summed across p learners per round). All p learner goroutines share the cores, so on a single-core machine (gomaxprocs 1) the figures measure per-word software overhead and the algorithm ratios are flattened: tree/ring/ptree/rhd move different wire volumes but the same core executes every copy, so bandwidth-optimal algorithms cannot show their p-fold advantage. Regenerate on a multi-core box with scripts/bench_comm.sh for meaningful cross-algorithm ratios; the words/sec deltas between monolithic tree and ptree on one core still show the pooling/pipelining overhead reduction.",\n'
+    printf '  "results": {\n'
+    awk '/^BenchmarkCommAllreduce/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        sub(/^BenchmarkCommAllreduce\//, "", name)
+        ns = $3
+        m = name
+        sub(/^.*\/m/, "", m)
+        wps = (ns > 0) ? m * 1e9 / ns : 0
+        lines[n++] = sprintf("    \"%s\": {\"ns_per_op\": %s, \"words_per_sec\": %.0f}", name, ns, wps)
+    }
+    END {
+        for (i = 0; i < n; i++)
+            printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
+    }' "$raw"
+    printf '  }\n'
+    printf '}\n'
+} > "$out"
+
+echo "wrote $out"

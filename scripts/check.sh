@@ -20,4 +20,10 @@ echo "==> go test -race ${short} ./internal/..."
 # shellcheck disable=SC2086
 go test -race ${short} ./internal/...
 
+# The pipelined collectives' concurrency bugs are schedule-dependent, so
+# give the race detector extra rounds over the stress/equivalence tests
+# specifically (cheap: the comm package has no heavy kernels).
+echo "==> go test -race -count=2 comm stress/equivalence"
+go test -race -count=2 -run 'Stress|Equivalent|Pipelines' ./internal/comm/
+
 echo "OK"
