@@ -30,6 +30,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	allreduce := flag.String("allreduce", "tree", "SASGD collective: tree, ring, ptree (chunked pipelined tree) or rhd (recursive halving/doubling)")
 	commChunk := flag.Int("comm-chunk", 0, "ptree chunk size in float64 words (0 = SASGD_COMM_CHUNK env or 8192)")
+	overlap := flag.Bool("overlap", false, "overlap SASGD aggregation with backprop (bucketed allreduce; default also via SASGD_OVERLAP=1)")
+	buckets := flag.Int("buckets", 0, "gradient bucket count for -overlap (0 = one per parameterized layer)")
 	momentum := flag.Float64("momentum", 0, "EAMSGD local momentum (0 = default, negative = none)")
 	topk := flag.Float64("topk", 0, "SASGD top-k compression fraction in (0,1); 0 = dense aggregation")
 	workers := flag.Int("workers", 0, "per-learner kernel workers (0 = split SASGD_WORKERS/GOMAXPROCS across learners)")
@@ -70,6 +72,8 @@ func main() {
 		Momentum:     *momentum,
 		Allreduce:    core.AllreduceAlgo(*allreduce),
 		CommChunk:    *commChunk,
+		OverlapComm:  *overlap,
+		CommBuckets:  *buckets,
 		CompressTopK: *topk,
 		VirtualTime:  *vtime,
 		Workers:      *workers,

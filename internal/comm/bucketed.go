@@ -1,0 +1,182 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Bucketed, asynchronous allreduce: the communication half of SASGD's
+// backward-overlapped aggregation. The flat gradient buffer is split at
+// fixed layer boundaries into buckets; as the backward pass finalizes a
+// bucket (layers finalize in reverse order, so the buckets near the end
+// of the buffer are ready while the first layers are still
+// backpropagating), the learner hands it to a per-rank communication
+// worker and keeps computing. Each bucket is reduced with the existing
+// pooled tree machinery over the same Group, so all of PR 2's guarantees
+// carry over: zero steady-state allocations, per-directed-link
+// serialization in the fabric simulation, and — because every bucket
+// replays the monolithic binomial tree's per-element summation order on
+// its own slice — a concatenated result that is bitwise identical to a
+// single whole-buffer "tree"/"ptree" allreduce at every bucket partition.
+//
+// Ordering discipline. A Group's collectives require every rank to walk
+// the same collectives in the same order. BucketedAllreduce preserves
+// that with ONE worker goroutine per rank draining a FIFO queue: callers
+// must Begin buckets in the same order on every rank (SASGD's backward
+// pass does — the bucket plan and the layer finalization order are
+// identical across replicas), and the worker then executes them in that
+// shared order. Buckets are therefore *pipelined*, not interleaved: the
+// overlap is between communication and the rest of the backward pass
+// (and, within a bucket, between the chunked tree's reduce and broadcast
+// streams), never between two buckets' wire schedules — which also
+// matches the physical platform, where one PCIe link per learner would
+// serialize concurrent bucket transfers anyway, and keeps simulated
+// times and mailbox matching deterministic.
+//
+// Deadlock freedom extends PR 2's argument unchanged: the global message
+// order gains a major key (bucket index, then chunk, then tree level)
+// that every rank walks identically, so the receive-dependency graph
+// stays acyclic; mailboxes still see at most one collective's traffic at
+// a time per pair *per position in the order*, and a rank running ahead
+// into later buckets can only block on a full mailbox whose receiver is
+// draining strictly earlier traffic.
+
+// Segment is one contiguous [Off, Off+Len) range of a flat buffer — a
+// bucket of the bucketed allreduce. Core builds these from
+// nn.ParamSegments by grouping adjacent layers.
+type Segment struct {
+	Off int
+	Len int
+}
+
+// Handle tracks one in-flight bucket allreduce. It is a value type so
+// steady-state Begin/Wait cycles allocate nothing.
+type Handle struct {
+	done chan struct{}
+}
+
+// Wait blocks until the bucket's allreduce has completed. The bucket's
+// slice then holds the global sum on every rank (once every rank's
+// matching Wait returns).
+func (h Handle) Wait() { <-h.done }
+
+// op identifiers for the worker.
+const (
+	opTree = iota // chunked pipelined binomial tree (bitwise tree order)
+	opRHD         // recursive halving/doubling (value-equal, reassociates)
+)
+
+// bucketOp is one submitted bucket; ops are preallocated per bucket and
+// recycled every interval, keeping steady state allocation-free.
+type bucketOp struct {
+	buf   []float64
+	chunk int
+	ready float64
+	kind  int
+	done  chan struct{}
+}
+
+// BucketedAllreduce runs asynchronous per-bucket allreduces for one rank
+// of a group. All ranks must create workers over the same segments and
+// Begin buckets in the same order.
+type BucketedAllreduce struct {
+	g    *Group
+	rank int
+	segs []Segment
+	ops  []bucketOp
+	// queue feeds the worker; its capacity is the inflight window, so a
+	// Begin beyond it applies backpressure to the submitting (compute)
+	// goroutine instead of queueing unboundedly.
+	queue chan *bucketOp
+	wg    sync.WaitGroup
+}
+
+// NewBucketedAllreduce returns the per-rank worker for a fixed bucket
+// partition of a flat buffer. segments must be identical on every rank
+// (they are a pure function of the model and the bucket knob).
+// maxInflight bounds how many buckets may be pending — submitted and not
+// yet finished — before Begin blocks; values < 1 select len(segments)
+// (backward never stalls on communication).
+func NewBucketedAllreduce(g *Group, rank int, segments []Segment, maxInflight int) *BucketedAllreduce {
+	if len(segments) == 0 {
+		panic("comm: NewBucketedAllreduce with no segments")
+	}
+	for i, s := range segments {
+		if s.Len <= 0 || s.Off < 0 {
+			panic(fmt.Sprintf("comm: NewBucketedAllreduce segment %d invalid: %+v", i, s))
+		}
+	}
+	if maxInflight < 1 {
+		maxInflight = len(segments)
+	}
+	b := &BucketedAllreduce{
+		g:     g,
+		rank:  rank,
+		segs:  segments,
+		ops:   make([]bucketOp, len(segments)),
+		queue: make(chan *bucketOp, maxInflight),
+	}
+	for i := range b.ops {
+		b.ops[i].done = make(chan struct{}, 1)
+	}
+	b.wg.Add(1)
+	go b.worker()
+	return b
+}
+
+// worker drains buckets in submission order — the fixed global order all
+// ranks share — and signals each op's handle.
+func (b *BucketedAllreduce) worker() {
+	defer b.wg.Done()
+	for op := range b.queue {
+		switch op.kind {
+		case opRHD:
+			b.g.AllreduceRHDFrom(b.rank, op.buf, op.ready)
+		default:
+			b.g.AllreduceTreeChunkedFrom(b.rank, op.buf, op.chunk, op.ready)
+		}
+		op.done <- struct{}{}
+	}
+}
+
+// Begin submits bucket i of buf (the full flat buffer; the bucket's
+// segment is sliced internally) for a chunked pipelined tree allreduce
+// and returns its handle. chunkWords ≤ 0 selects DefaultChunk; pass the
+// segment length for a monolithic per-bucket tree. ready is the
+// simulated time the bucket's data became final (the layer's
+// backward-completion time); it stamps the wire schedule only and is
+// ignored without a simulation. A bucket must not be begun again until
+// its previous handle has been waited on, and every rank must issue the
+// same sequence of Begin/BeginRHD calls.
+func (b *BucketedAllreduce) Begin(i int, buf []float64, chunkWords int, ready float64) Handle {
+	return b.submit(i, buf, opTree, chunkWords, ready)
+}
+
+// BeginRHD is Begin with recursive halving/doubling as the per-bucket
+// collective: the ring-optimal 2m(p−1)/p wire volume, value-equal to the
+// tree within floating-point reassociation tolerance rather than bitwise
+// (and falling back to the tree for non-power-of-two groups).
+func (b *BucketedAllreduce) BeginRHD(i int, buf []float64, ready float64) Handle {
+	return b.submit(i, buf, opRHD, 0, ready)
+}
+
+func (b *BucketedAllreduce) submit(i int, buf []float64, kind, chunkWords int, ready float64) Handle {
+	s := b.segs[i]
+	if s.Off+s.Len > len(buf) {
+		panic(fmt.Sprintf("comm: bucket %d segment %+v exceeds buffer length %d", i, s, len(buf)))
+	}
+	op := &b.ops[i]
+	op.buf = buf[s.Off : s.Off+s.Len]
+	op.chunk = chunkWords
+	op.ready = ready
+	op.kind = kind
+	b.queue <- op
+	return Handle{done: op.done}
+}
+
+// Close shuts the worker down after all submitted buckets have drained.
+// The BucketedAllreduce must not be used afterwards.
+func (b *BucketedAllreduce) Close() {
+	close(b.queue)
+	b.wg.Wait()
+}

@@ -67,6 +67,24 @@ func DefaultChunk() int {
 //
 // chunkWords ≤ 0 selects DefaultChunk (SASGD_COMM_CHUNK).
 func (g *Group) AllreduceTreeChunked(rank int, buf []float64, chunkWords int) {
+	// entry is the learner's simulated time when the collective starts: the
+	// moment every chunk's local contribution exists.
+	entry := 0.0
+	if g.clocks != nil {
+		entry = g.clocks[rank].Now()
+	}
+	g.AllreduceTreeChunkedFrom(rank, buf, chunkWords, entry)
+}
+
+// AllreduceTreeChunkedFrom is AllreduceTreeChunked with an explicit data
+// entry time: the simulated instant buf's contents became ready at this
+// learner. The bucketed, backward-overlapped aggregation passes the
+// *layer's* backward-completion time here — which can be well before the
+// learner's scalar clock (already advanced to the end of the minibatch) —
+// so a late layer's bucket departs on the simulated fabric while the
+// early layers are still backpropagating. Values are unaffected; entry
+// only stamps the wire schedule (ignored entirely without a simulation).
+func (g *Group) AllreduceTreeChunkedFrom(rank int, buf []float64, chunkWords int, entry float64) {
 	g.checkRank(rank)
 	if g.p == 1 || len(buf) == 0 {
 		return
@@ -75,18 +93,13 @@ func (g *Group) AllreduceTreeChunked(rank int, buf []float64, chunkWords int) {
 		chunkWords = DefaultChunk()
 	}
 	nchunks := (len(buf) + chunkWords - 1) / chunkWords
-	// entry is the learner's simulated time when the collective starts: the
-	// moment every chunk's local contribution exists. Each chunk's sends are
-	// stamped with the chunk's own causal ready time — entry joined with the
-	// arrivals of that chunk's inputs — rather than the learner's scalar
-	// clock, which the interleaved loop keeps Synced to *later* chunks'
-	// arrivals and would otherwise serialize the two streams (see
-	// sendMsgAt). ready ring-buffers the reduce-ready times of the at most
-	// PipelineDepth chunks in flight between the two streams.
-	entry := 0.0
-	if g.clocks != nil {
-		entry = g.clocks[rank].Now()
-	}
+	// Each chunk's sends are stamped with the chunk's own causal ready
+	// time — entry joined with the arrivals of that chunk's inputs —
+	// rather than the learner's scalar clock, which the interleaved loop
+	// keeps Synced to *later* chunks' arrivals and would otherwise
+	// serialize the two streams (see sendMsgAt). ready ring-buffers the
+	// reduce-ready times of the at most PipelineDepth chunks in flight
+	// between the two streams.
 	var ready [PipelineDepth + 1]float64
 	reduced := 0
 	for c := 0; c < nchunks; c++ {
@@ -187,15 +200,30 @@ func (g *Group) broadcastChunk(rank int, buf []float64, c, chunkWords int, ready
 // tolerance (≈1e-12 absolute on O(1) data) rather than bit-identical;
 // callers that need bit-stability use the tree family.
 func (g *Group) AllreduceRHD(rank int, buf []float64) {
+	entry := 0.0
+	if g.clocks != nil {
+		entry = g.clocks[rank].Now()
+	}
+	g.AllreduceRHDFrom(rank, buf, entry)
+}
+
+// AllreduceRHDFrom is AllreduceRHD with an explicit data entry time (see
+// AllreduceTreeChunkedFrom). Each exchange's send is stamped with the
+// running causal time of this learner's segment — entry joined with the
+// arrivals already folded into it — which equals what the scalar clock
+// would read in the serial case, so the plain AllreduceRHD schedule is
+// unchanged.
+func (g *Group) AllreduceRHDFrom(rank int, buf []float64, entry float64) {
 	g.checkRank(rank)
 	p := g.p
 	if p == 1 {
 		return
 	}
 	if p&(p-1) != 0 {
-		g.AllreduceTree(rank, buf)
+		g.AllreduceTreeChunkedFrom(rank, buf, len(buf), entry)
 		return
 	}
+	ready := entry
 	m := len(buf)
 	// Segment bounds before each halving step, reused (in reverse) by the
 	// allgather. Fixed-size stacks keep the call allocation-free; 64
@@ -219,10 +247,13 @@ func (g *Group) AllreduceRHD(rank int, buf []float64) {
 		}
 		pb := g.acquire(sendHi - sendLo)
 		copy(pb.data, buf[sendLo:sendHi])
-		g.sendMsg(rank, peer, message{data: pb.data, pb: pb})
+		g.sendMsgAt(rank, peer, message{data: pb.data, pb: pb}, ready)
 		in := g.recvMsg(rank, peer)
 		if len(in.data) != keepHi-keepLo {
 			panic(fmt.Sprintf("comm: AllreduceRHD halving length mismatch %d vs %d", len(in.data), keepHi-keepLo))
+		}
+		if in.arrive > ready {
+			ready = in.arrive
 		}
 		addInto(buf[keepLo:keepHi], in.data)
 		g.releaseMsg(in)
@@ -237,8 +268,11 @@ func (g *Group) AllreduceRHD(rank int, buf []float64) {
 		peer := rank ^ d
 		pb := g.acquire(hi - lo)
 		copy(pb.data, buf[lo:hi])
-		g.sendMsg(rank, peer, message{data: pb.data, pb: pb})
+		g.sendMsgAt(rank, peer, message{data: pb.data, pb: pb}, ready)
 		in := g.recvMsg(rank, peer)
+		if in.arrive > ready {
+			ready = in.arrive
+		}
 		plo, phi := loStack[level], hiStack[level]
 		mid := plo + (phi-plo)/2
 		rl, rh := mid, phi

@@ -10,11 +10,31 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"sync"
 
 	"sasgd/internal/data"
 	"sasgd/internal/netsim"
 	"sasgd/internal/nn"
 )
+
+var (
+	overlapOnce    sync.Once
+	defaultOverlap bool
+)
+
+// DefaultOverlap reports whether the SASGD_OVERLAP environment variable
+// requests backward-overlapped aggregation by default ("1" or "true";
+// anything else, including unset, leaves the Config.OverlapComm zero
+// value in charge). Mirrors comm.DefaultChunk's SASGD_COMM_CHUNK pattern
+// so the experiment drivers pick the knob up without plumbing.
+func DefaultOverlap() bool {
+	overlapOnce.Do(func() {
+		s := os.Getenv("SASGD_OVERLAP")
+		defaultOverlap = s == "1" || s == "true"
+	})
+	return defaultOverlap
+}
 
 // Algorithm identifies one of the implemented training algorithms.
 type Algorithm string
@@ -79,6 +99,26 @@ type Config struct {
 	// words (AllreducePTree only). Zero selects the comm package default
 	// (the SASGD_COMM_CHUNK environment variable, else 8192).
 	CommChunk int
+
+	// OverlapComm enables bucketed, backward-overlapped aggregation: on
+	// the T-th minibatch of each interval, the gradient buffer is split
+	// into CommBuckets contiguous buckets at layer boundaries and each
+	// bucket's allreduce is launched the moment the backward pass has
+	// finalized its layers' gradients, overlapping communication with the
+	// remainder of backprop. Results are bitwise identical to the serial
+	// path for the tree family ("tree"/"ptree"; "rhd" is value-equal as
+	// always). It applies to SASGD with dense aggregation only — runs
+	// with CompressTopK or the ring collective fall back to the serial
+	// path. The SASGD_OVERLAP environment variable ("1"/"true") turns it
+	// on by default for every run, which is how the experiment drivers
+	// pick it up.
+	OverlapComm bool
+
+	// CommBuckets is the number of gradient buckets for OverlapComm:
+	// per-layer segments are grouped into this many contiguous,
+	// word-balanced buckets. Values ≤ 0 (or above the parameterized layer
+	// count) select one bucket per parameterized layer.
+	CommBuckets int
 
 	// CompressTopK, when in (0, 1), makes SASGD's aggregation sparse in
 	// space as well as in time: each learner ships only the top-k
@@ -155,6 +195,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Allreduce == "" {
 		c.Allreduce = AllreduceTree
+	}
+	if !c.OverlapComm && DefaultOverlap() {
+		c.OverlapComm = true
 	}
 	if c.EvalEvery <= 0 {
 		c.EvalEvery = 1

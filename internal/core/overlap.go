@@ -1,0 +1,167 @@
+package core
+
+import (
+	"sasgd/internal/comm"
+	"sasgd/internal/model"
+	"sasgd/internal/nn"
+	"sasgd/internal/tensor"
+)
+
+// Backward-overlapped aggregation (Config.OverlapComm). The serial SASGD
+// loop pays the full O(m log p) allreduce after the T-th backward pass
+// has completely finished; but backprop finalizes layer gradients in
+// reverse order, so the tail of the flat gradient buffer is final while
+// the early convolutions are still running. This file hooks
+// nn.StepEach's per-layer callback to accumulate each finalized bucket
+// into gs and hand it to comm.BucketedAllreduce immediately, then waits
+// on every handle before applying γp. Values are bitwise identical to
+// the serial path for the tree family: bucket boundaries are fixed layer
+// boundaries, per-bucket accumulation is the same elementwise gs += g,
+// and the bucketed tree replays the monolithic tree's per-element
+// summation order (pinned in comm and again at core level in
+// overlap_test.go). Under the fabric simulation each bucket's send is
+// stamped with its layers' backward-completion time — start +
+// dt·fraction from model.BackwardDoneFractions — which is what makes the
+// overlap show up in simulated epoch time.
+
+// overlapActive reports whether a SASGD run takes the bucketed,
+// backward-overlapped aggregation path: opted in, dense aggregation, and
+// a collective family the bucketed worker implements (tree, ptree, rhd —
+// the ring, like top-k compression, falls back to the serial path).
+func (c Config) overlapActive() bool {
+	return c.OverlapComm && c.CompressTopK == 0 && c.Allreduce != AllreduceRing
+}
+
+// overlapAggregator is one learner's bucketed-aggregation state,
+// long-lived across the run (the comm worker and handle storage are
+// reused every interval).
+type overlapAggregator struct {
+	b    *comm.BucketedAllreduce
+	segs []comm.Segment
+	// bucketAt[layer] is the bucket whose gradients become final when
+	// that layer's backward completes (the bucket's earliest layer), or
+	// -1. Backward visits layers in reverse, so buckets launch in
+	// descending index order — identically on every rank.
+	bucketAt []int
+	// fracs[layer] is the fraction of the batch's simulated duration
+	// elapsed when that layer's backward completes; nil without a
+	// simulation.
+	fracs     []float64
+	handles   []comm.Handle
+	gs, grads []float64
+	chunk     int
+	rhd       bool
+	// start/dt is the current aggregation batch's simulated span, set by
+	// the training loop from Sim.BatchSpan before the step runs.
+	start, dt float64
+}
+
+// newOverlapAggregator builds the learner's bucket plan and starts its
+// comm worker. Returns nil for a network with no parameters (the serial
+// path handles the degenerate case).
+func newOverlapAggregator(group *comm.Group, rank int, cfg Config, net *nn.Network, gs []float64) *overlapAggregator {
+	psegs := net.ParamSegments()
+	if len(psegs) == 0 {
+		return nil
+	}
+	segs, minLayer := planBuckets(psegs, cfg.CommBuckets)
+	ov := &overlapAggregator{
+		segs:     segs,
+		bucketAt: make([]int, len(net.Layers())),
+		handles:  make([]comm.Handle, len(segs)),
+		gs:       gs,
+		grads:    net.GradData(),
+		chunk:    cfg.CommChunk,
+		rhd:      cfg.Allreduce == AllreduceRHD,
+	}
+	for i := range ov.bucketAt {
+		ov.bucketAt[i] = -1
+	}
+	for b, l := range minLayer {
+		ov.bucketAt[l] = b
+	}
+	if cfg.Allreduce != AllreducePTree {
+		// The monolithic tree is the chunked tree with one chunk per
+		// bucket (bitwise identical either way; this matches its
+		// unchunked wire schedule).
+		for _, s := range segs {
+			if s.Len > ov.chunk {
+				ov.chunk = s.Len
+			}
+		}
+	}
+	ov.b = comm.NewBucketedAllreduce(group, rank, segs, 0)
+	ov.fracs = nil
+	if cfg.Sim != nil {
+		ov.fracs = model.BackwardDoneFractions(net)
+	}
+	return ov
+}
+
+// onLayerDone is the nn.BackwardEach hook for the T-th minibatch: when
+// layer's completion finalizes a bucket, fold its gradient segment into
+// gs (elementwise, so gs ends bitwise equal to the serial whole-vector
+// accumulation) and launch its allreduce, stamped with the layer's
+// backward-completion time.
+func (ov *overlapAggregator) onLayerDone(layer int) {
+	bi := ov.bucketAt[layer]
+	if bi < 0 {
+		return
+	}
+	s := ov.segs[bi]
+	tensor.Axpy(1, ov.grads[s.Off:s.Off+s.Len], ov.gs[s.Off:s.Off+s.Len])
+	ready := 0.0
+	if ov.fracs != nil {
+		ready = ov.start + ov.dt*ov.fracs[layer]
+	}
+	if ov.rhd {
+		ov.handles[bi] = ov.b.BeginRHD(bi, ov.gs, ready)
+	} else {
+		ov.handles[bi] = ov.b.Begin(bi, ov.gs, ov.chunk, ready)
+	}
+}
+
+// wait blocks until every bucket launched this interval has completed;
+// gs then holds the global sum on every rank.
+func (ov *overlapAggregator) wait() {
+	for i := range ov.handles {
+		ov.handles[i].Wait()
+	}
+}
+
+// close shuts down the comm worker at the end of the run.
+func (ov *overlapAggregator) close() {
+	ov.b.Close()
+}
+
+// planBuckets groups the network's per-layer segments into at most n
+// contiguous, word-balanced buckets (n ≤ 0 or n ≥ len(psegs) selects one
+// bucket per parameterized layer). It returns the comm segments plus each
+// bucket's earliest layer — the last of its layers to finalize during
+// backward, which gates the bucket's launch. The plan is a pure function
+// of the model and n, so every rank computes identical buckets.
+func planBuckets(psegs []nn.ParamSegment, n int) (segs []comm.Segment, minLayer []int) {
+	if n <= 0 || n > len(psegs) {
+		n = len(psegs)
+	}
+	total := 0
+	for _, s := range psegs {
+		total += s.Len
+	}
+	si := 0
+	for b := 0; b < n; b++ {
+		first := psegs[si]
+		off, words := first.Off, first.Len
+		si++
+		// Grow the bucket toward the cumulative word target, keeping at
+		// least one segment for each remaining bucket.
+		target := (total*(b+1) + n - 1) / n
+		for si < len(psegs) && len(psegs)-si > n-b-1 && off+words < target {
+			words += psegs[si].Len
+			si++
+		}
+		segs = append(segs, comm.Segment{Off: off, Len: words})
+		minLayer = append(minLayer, first.Layer)
+	}
+	return segs, minLayer
+}

@@ -56,6 +56,15 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 			residual = make([]float64, m)
 		}
 
+		// Bucketed, backward-overlapped aggregation (see overlap.go): on
+		// the T-th minibatch, gradient buckets are accumulated into gs and
+		// launched into the collective as backprop finalizes them, instead
+		// of serially after the full backward pass.
+		var ov *overlapAggregator
+		if cfg.overlapActive() {
+			ov = newOverlapAggregator(group, rank, cfg, net, gs)
+		}
+
 		sampler := data.NewEpochSampler(shards[rank].Len(), cfg.Batch, cfg.Seed+int64(rank)*31+7)
 		var lastLoss float64
 		step := 0
@@ -63,6 +72,30 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 			for b := 0; b < bpe; b++ {
 				idx := sampler.Next()
 				x, y := shards[rank].Batch(idx)
+				if ov != nil && (step+1)%cfg.Interval == 0 {
+					// Overlapped aggregation batch. The batch's simulated
+					// span is drawn up front (same single jitter draw per
+					// batch as ChargeBatch, so the streams stay identical)
+					// and the clock jumps to the batch's end before any
+					// bucket launches; each bucket's send is then stamped
+					// analytically with its layers' backward-completion
+					// time inside the span.
+					ov.start, ov.dt = 0, 0
+					if cfg.Sim != nil {
+						ov.start, ov.dt = cfg.Sim.BatchSpan(rank, cfg.FlopsPerSample*float64(len(idx)))
+					}
+					lastLoss = net.StepEach(x, y, ov.onLayerDone)
+					ov.wait()
+					// The serial path's local update x ← x − γ·g on this
+					// batch is overwritten by x ← x′ below, so it is
+					// skipped. x′ ← x′ − γp·gs ; x ← x′ ; gs ← 0.
+					tensor.Axpy(-cfg.GammaP, gs, xref)
+					tensor.Copy(params, xref)
+					clear(gs)
+					samples.Add(int64(len(idx)))
+					step++
+					continue
+				}
 				lastLoss = net.Step(x, y)
 				// x ← x − γ·g ; gs ← gs + g
 				tensor.Axpy(-cfg.Gamma, grads, params)
@@ -89,6 +122,9 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 			}
 			group.Barrier(rank)
 		}
+		if ov != nil {
+			ov.close()
+		}
 		if rank == 0 {
 			finalParams = append([]float64(nil), params...)
 		}
@@ -113,14 +149,17 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 // top-k sparsified with an error-feedback residual), apply the aggregate
 // to the reference parameters with γp, reset the local replica, clear gs.
 func aggregate(group *comm.Group, rank int, cfg Config, gs, residual, xref, params []float64) {
+	k := len(gs)
 	if cfg.CompressTopK > 0 && cfg.CompressTopK < 1 {
-		// Fold in last interval's unsent remainder, ship the largest
-		// entries, keep the rest as the next residual.
-		tensor.Axpy(1, residual, gs)
-		k := int(cfg.CompressTopK * float64(len(gs)))
+		k = int(cfg.CompressTopK * float64(len(gs)))
 		if k < 1 {
 			k = 1
 		}
+	}
+	if k < len(gs) {
+		// Fold in last interval's unsent remainder, ship the largest
+		// entries, keep the rest as the next residual.
+		tensor.Axpy(1, residual, gs)
 		sent := comm.TopK(gs, k)
 		copy(residual, gs)
 		for i, j := range sent.Idx {
@@ -131,11 +170,17 @@ func aggregate(group *comm.Group, rank int, cfg Config, gs, residual, xref, para
 		for i, j := range sum.Idx {
 			xref[j] -= cfg.GammaP * sum.Val[i]
 		}
-		copy(params, xref)
-		for i := range gs {
-			gs[i] = 0
-		}
+		tensor.Copy(params, xref)
+		clear(gs)
 		return
+	}
+	// Dense path — including the degenerate "ship everything" compression
+	// (CompressTopK ≥ 1), which folds the error-feedback residual back in
+	// and falls through to the collective selected by cfg.Allreduce
+	// rather than the sparse tree.
+	if residual != nil {
+		tensor.Axpy(1, residual, gs)
+		clear(residual)
 	}
 	switch cfg.Allreduce {
 	case AllreduceRing:
@@ -149,8 +194,6 @@ func aggregate(group *comm.Group, rank int, cfg Config, gs, residual, xref, para
 	}
 	// x′ ← x′ − γp·gs ; x ← x′ ; gs ← 0
 	tensor.Axpy(-cfg.GammaP, gs, xref)
-	copy(params, xref)
-	for i := range gs {
-		gs[i] = 0
-	}
+	tensor.Copy(params, xref)
+	clear(gs)
 }

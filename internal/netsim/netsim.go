@@ -146,11 +146,25 @@ func (s *Sim) Clock(rank int) *Clock { return s.clocks[rank] }
 // minibatch costing flops floating-point operations (paper-scale), with
 // straggler jitter.
 func (s *Sim) ChargeBatch(rank int, flops float64) {
-	dt := flops/s.cfg.Flops + s.cfg.BatchOverhead
+	s.BatchSpan(rank, flops)
+}
+
+// BatchSpan is ChargeBatch returning the minibatch's simulated span: the
+// clock reading when the batch started and the (jittered) duration it was
+// advanced by. The bucketed, backward-overlapped aggregation uses the span
+// to stamp each gradient bucket with its layer's backward-completion time
+// — start + dt·fraction — while the clock itself still jumps to the end
+// of the batch before any bucket launches, keeping the compute/comm
+// accounting and the per-rank jitter stream identical to the serial path
+// (one draw per batch, same order).
+func (s *Sim) BatchSpan(rank int, flops float64) (start, dt float64) {
+	dt = flops/s.cfg.Flops + s.cfg.BatchOverhead
 	if j := s.cfg.ComputeJitter; j > 0 {
 		dt *= 1 + (s.rng[rank].Float64()*2-1)*j
 	}
+	start = s.clocks[rank].Now()
 	s.clocks[rank].Advance(dt)
+	return start, dt
 }
 
 // MaxTime returns the latest simulated time across all learners.

@@ -96,6 +96,40 @@ func (n *Network) SetParamData(v []float64) {
 	copy(n.flatP, v)
 }
 
+// ParamSegment is one layer's contiguous range of the flat parameter and
+// gradient buffers: ParamData()[Off:Off+Len] (and the same slice of
+// GradData()) holds every parameter of Layers()[Layer]. Segments are what
+// the bucketed, backward-overlapped aggregation in internal/core ships:
+// because layers finalize their gradients in reverse order during
+// Backward, the segments near the end of the flat buffer are reducible
+// while the early layers are still backpropagating.
+type ParamSegment struct {
+	Layer int // index into Layers()
+	Off   int // offset into ParamData()/GradData()
+	Len   int // words
+}
+
+// ParamSegments returns the per-layer segments of the flat buffers in
+// flat-buffer (= forward layer) order. Parameterless layers contribute no
+// segment; the segments of a network with parameters are non-empty,
+// back-to-back, and cover [0, NumParams()) exactly, because bind lays
+// parameters out in layer order.
+func (n *Network) ParamSegments() []ParamSegment {
+	var segs []ParamSegment
+	off := 0
+	for li, l := range n.layers {
+		sz := 0
+		for _, p := range l.Params() {
+			sz += p.Value.Size()
+		}
+		if sz > 0 {
+			segs = append(segs, ParamSegment{Layer: li, Off: off, Len: sz})
+			off += sz
+		}
+	}
+	return segs
+}
+
 // Forward runs the full stack on a minibatch and returns the logits.
 func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	out := x
@@ -112,10 +146,24 @@ func (n *Network) Loss(logits *tensor.Tensor, labels []int) float64 {
 
 // Backward backpropagates from the most recent Loss call through every
 // layer, leaving dLoss/dθ in GradData.
-func (n *Network) Backward() {
+func (n *Network) Backward() { n.BackwardEach(nil) }
+
+// BackwardEach is Backward with a per-layer finalization hook: onFinal(i)
+// is invoked immediately after layer i's Backward returns, i.e. the
+// moment Layers()[i]'s parameter gradients (its ParamSegments slice of
+// GradData) are final and will not be written again this pass. Layers are
+// visited in reverse order, so the hook fires for the last layer first —
+// the window the bucketed aggregation in internal/core uses to start
+// reducing late layers' gradients while early layers still backpropagate.
+// The hook also fires for parameterless layers (with nothing newly
+// final); a nil onFinal is Backward exactly.
+func (n *Network) BackwardEach(onFinal func(layer int)) {
 	grad := n.criteria.Backward()
 	for i := len(n.layers) - 1; i >= 0; i-- {
 		grad = n.layers[i].Backward(grad)
+		if onFinal != nil {
+			onFinal(i)
+		}
 	}
 }
 
@@ -125,9 +173,16 @@ func (n *Network) Backward() {
 // into gs, push to a server, ...), which is exactly the split between the
 // algorithms in the paper.
 func (n *Network) Step(x *tensor.Tensor, labels []int) float64 {
+	return n.StepEach(x, labels, nil)
+}
+
+// StepEach is Step with BackwardEach's per-layer finalization hook
+// threaded through, so a caller can overlap work (gradient accumulation,
+// communication) with the remainder of the backward pass.
+func (n *Network) StepEach(x *tensor.Tensor, labels []int, onFinal func(layer int)) float64 {
 	logits := n.Forward(x, true)
 	loss := n.Loss(logits, labels)
-	n.Backward()
+	n.BackwardEach(onFinal)
 	return loss
 }
 

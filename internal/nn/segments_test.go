@@ -1,0 +1,143 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"sasgd/internal/tensor"
+)
+
+// segNet builds a small mixed stack — parameterless layers interleaved
+// with parameterized ones — for the segment and callback tests.
+func segNet(seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	return NewNetwork([]int{1, 8, 8},
+		NewConv2D(rng, 1, 3, 3, 3),
+		NewReLU(),
+		NewMaxPool2D(2, 2),
+		NewFlatten(),
+		NewLinear(rng, 3*3*3, 10),
+		NewTanh(),
+		NewLinear(rng, 10, 4),
+	)
+}
+
+func segBatch(seed int64) (*tensor.Tensor, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.New(5, 1, 8, 8)
+	x.FillUniform(rng, -1, 1)
+	y := make([]int, 5)
+	for i := range y {
+		y[i] = rng.Intn(4)
+	}
+	return x, y
+}
+
+// TestParamSegmentsCoverFlatBuffer: segments are ordered, back-to-back,
+// cover [0, NumParams()) exactly, and each one's length equals the sum of
+// its layer's parameter sizes.
+func TestParamSegmentsCoverFlatBuffer(t *testing.T) {
+	net := segNet(1)
+	segs := net.ParamSegments()
+	if len(segs) != 3 { // conv, linear, linear
+		t.Fatalf("got %d segments, want 3: %+v", len(segs), segs)
+	}
+	off := 0
+	lastLayer := -1
+	for _, s := range segs {
+		if s.Off != off {
+			t.Fatalf("segment %+v not back-to-back: want offset %d", s, off)
+		}
+		if s.Layer <= lastLayer {
+			t.Fatalf("segment layers not strictly increasing: %+v", segs)
+		}
+		want := 0
+		for _, p := range net.Layers()[s.Layer].Params() {
+			want += p.Value.Size()
+		}
+		if s.Len != want {
+			t.Fatalf("segment %+v length != layer param size %d", s, want)
+		}
+		off += s.Len
+		lastLayer = s.Layer
+	}
+	if off != net.NumParams() {
+		t.Fatalf("segments cover %d words, want NumParams %d", off, net.NumParams())
+	}
+}
+
+// TestParamSegmentsAliasFlatStorage: writing through a segment's slice of
+// ParamData must be visible to the layer's own Param tensors (the
+// segments are views, not copies).
+func TestParamSegmentsAliasFlatStorage(t *testing.T) {
+	net := segNet(2)
+	segs := net.ParamSegments()
+	s := segs[len(segs)-1]
+	net.ParamData()[s.Off] = 42.5
+	last := net.Layers()[s.Layer].Params()[0]
+	if last.Value.Data[0] != 42.5 {
+		t.Fatal("ParamSegments do not alias the layer's parameter storage")
+	}
+}
+
+// TestBackwardEachFiresInReverseWithFinalGradients runs one training step
+// with the hook and asserts (a) the hook sees every layer exactly once in
+// reverse order, and (b) at the moment a layer's hook fires, that layer's
+// gradient segment already holds its final value — pinned by snapshotting
+// the segment at hook time and comparing with the gradient after the full
+// pass, bit for bit.
+func TestBackwardEachFiresInReverseWithFinalGradients(t *testing.T) {
+	net := segNet(3)
+	x, y := segBatch(4)
+	segByLayer := map[int]ParamSegment{}
+	for _, s := range net.ParamSegments() {
+		segByLayer[s.Layer] = s
+	}
+
+	var order []int
+	snaps := map[int][]float64{}
+	net.StepEach(x, y, func(layer int) {
+		order = append(order, layer)
+		if s, ok := segByLayer[layer]; ok {
+			snaps[layer] = append([]float64(nil), net.GradData()[s.Off:s.Off+s.Len]...)
+		}
+	})
+
+	nl := len(net.Layers())
+	if len(order) != nl {
+		t.Fatalf("hook fired %d times, want %d", len(order), nl)
+	}
+	for i, l := range order {
+		if l != nl-1-i {
+			t.Fatalf("hook order %v, want reverse layer order", order)
+		}
+	}
+	for layer, snap := range snaps {
+		s := segByLayer[layer]
+		final := net.GradData()[s.Off : s.Off+s.Len]
+		for i := range snap {
+			if snap[i] != final[i] {
+				t.Fatalf("layer %d gradient changed after its hook fired (index %d: %g vs %g)",
+					layer, i, snap[i], final[i])
+			}
+		}
+	}
+}
+
+// TestStepEachMatchesStepBitwise: the hook must not perturb the pass —
+// identical replicas stepping with and without it produce bitwise equal
+// losses, gradients, and (after an update) parameters.
+func TestStepEachMatchesStepBitwise(t *testing.T) {
+	a, b := segNet(5), segNet(5)
+	x, y := segBatch(6)
+	la := a.Step(x, y)
+	lb := b.StepEach(x, y, func(int) {})
+	if la != lb {
+		t.Fatalf("loss differs: %g vs %g", la, lb)
+	}
+	for i := range a.GradData() {
+		if a.GradData()[i] != b.GradData()[i] {
+			t.Fatalf("gradient differs at %d", i)
+		}
+	}
+}

@@ -253,6 +253,19 @@ func axpy(a float64, x, y []float64) {
 // collective code that works on flattened parameter vectors.
 func Axpy(a float64, x, y []float64) { axpy(a, x, y) }
 
+// Copy copies src into dst over the parallel worker pool. Equivalent to
+// the builtin copy for equal-length slices, but model-sized vectors (the
+// reference-parameter reset on SASGD's aggregation path is ~2M words for
+// NLC-F) are split across workers like the other elementwise kernels.
+func Copy(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("tensor: Copy length mismatch")
+	}
+	parallel.For(len(dst), elemGrain, func(lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi])
+	})
+}
+
 // Dot returns the inner product of t and o viewed as flat vectors.
 func (t *Tensor) Dot(o *Tensor) float64 {
 	t.mustSameSize(o, "Dot")

@@ -26,4 +26,18 @@ go test -race ${short} ./internal/...
 echo "==> go test -race -count=2 comm stress/equivalence"
 go test -race -count=2 -run 'Stress|Equivalent|Pipelines' ./internal/comm/
 
+# Same treatment for the backward-overlapped bucketed aggregation: the
+# async handle lifecycle and the learner/comm-worker handoff are the
+# schedule-sensitive surfaces, so run their equivalence and stress tests
+# twice under the race detector at both layers.
+echo "==> go test -race -count=2 bucketed/overlap equivalence + stress"
+go test -race -count=2 -run 'Bucketed|Overlap' ./internal/comm/
+go test -race -count=2 -run 'Overlap' ./internal/core/
+
+# Steady-state allocation pins (the race detector's instrumentation
+# allocates, so these only check out in a plain build): bucketed
+# allreduce rounds must stay zero-alloc on the pooled buffers.
+echo "==> go test bucketed zero-alloc pin"
+go test -run 'SteadyStateAllocs' ./internal/comm/
+
 echo "OK"
