@@ -17,18 +17,26 @@ import (
 	"strings"
 	"time"
 
+	"sasgd/internal/core"
 	"sasgd/internal/experiments"
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset: tables, theorem1, fig1..fig10 (default: all)")
+	only := flag.String("only", "", "comma-separated subset: tables, theorem1, fig1..fig10, averaging, trace (default: all)")
 	epochs := flag.Int("epochs", 0, "override every figure's epoch budget (0 = per-figure default)")
 	seed := flag.Int64("seed", 0, "seed offset for replication runs")
 	replicas := flag.Int("replicas", 3, "seeds averaged per convergence curve (1 = single run)")
 	jsonDir := flag.String("json", "", "also write each item's structured result as JSON into this directory")
+	trace := flag.String("trace", "", "Chrome-trace output file for the trace item (default also via SASGD_TRACE=1 or SASGD_TRACE=path)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/obs on this address during traced runs")
 	flag.Parse()
 
-	opt := experiments.Opt{Out: os.Stdout, Epochs: *epochs, Seed: *seed, Replicas: *replicas}
+	tracePath := *trace
+	if tracePath == "" {
+		tracePath = core.DefaultTracePath()
+	}
+	opt := experiments.Opt{Out: os.Stdout, Epochs: *epochs, Seed: *seed, Replicas: *replicas,
+		TracePath: tracePath, DebugAddr: *debugAddr}
 	all := []struct {
 		name string
 		run  func() interface{}
@@ -49,6 +57,7 @@ func main() {
 		{"fig9", func() interface{} { return experiments.Fig9(opt) }},
 		{"fig10", func() interface{} { return experiments.Fig10(opt) }},
 		{"averaging", func() interface{} { return experiments.AveragingVariants(opt) }},
+		{"trace", func() interface{} { return experiments.TracedOverlap(opt) }},
 	}
 
 	want := map[string]bool{}

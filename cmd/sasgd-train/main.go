@@ -5,16 +5,19 @@
 //	go run ./cmd/sasgd-train -algo sasgd -workload cifar -p 8 -T 50
 //	go run ./cmd/sasgd-train -algo downpour -workload nlcf -p 16 -epochs 40
 //	go run ./cmd/sasgd-train -algo sasgd -p 8 -T 1 -sim   # simulated fabric timing
+//	go run ./cmd/sasgd-train -p 8 -T 1 -overlap -trace out.json  # Perfetto timeline + phase profile
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"sasgd/internal/core"
 	"sasgd/internal/experiments"
 	"sasgd/internal/metrics"
+	"sasgd/internal/obs"
 )
 
 func main() {
@@ -37,6 +40,8 @@ func main() {
 	workers := flag.Int("workers", 0, "per-learner kernel workers (0 = split SASGD_WORKERS/GOMAXPROCS across learners)")
 	sim := flag.Bool("sim", false, "attach the fabric simulator and report simulated epoch time")
 	vtime := flag.Bool("vtime", false, "deterministic virtual-time scheduling for the asynchronous algorithms")
+	trace := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file (default also via SASGD_TRACE=1 or SASGD_TRACE=path; load in ui.perfetto.dev)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/obs live snapshots on this address during the run (e.g. localhost:6060)")
 	flag.Parse()
 
 	sc := experiments.ScaleSmall
@@ -99,6 +104,27 @@ func main() {
 		cfg.FlopsPerSample = w.PaperCost.TrainFlopsPerSample
 	}
 
+	// Tracing: the flag wins, the SASGD_TRACE env supplies the default
+	// (same precedence as -overlap/SASGD_OVERLAP). The debug endpoint
+	// needs a tracer too, so it implies one even without a trace file.
+	tracePath := *trace
+	if tracePath == "" {
+		tracePath = core.DefaultTracePath()
+	}
+	var tracer *obs.Tracer
+	if tracePath != "" || *debugAddr != "" {
+		tracer = obs.NewTracer(0)
+		cfg.Tracer = tracer
+	}
+	if *debugAddr != "" {
+		addr, err := tracer.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sasgd-train: debug endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("debug endpoint: http://%s/debug/obs\n", addr)
+	}
+
 	fmt.Printf("training %s on %s: p=%d T=%d M=%d γ=%g epochs=%d\n",
 		cfg.Algo, w.Name, cfg.Learners, cfg.Interval, cfg.Batch, cfg.Gamma, cfg.Epochs)
 	res := core.Train(cfg, w.Problem)
@@ -116,5 +142,22 @@ func main() {
 	if *sim {
 		fmt.Printf("simulated: %.3fs total, %.3fs/epoch (compute %.3fs, communication %.3fs per learner)\n",
 			res.SimTime, res.EpochTime(), res.SimCompute, res.SimComm)
+	}
+	if tracer != nil {
+		if tracePath != "" {
+			if err := tracer.WriteTraceFile(tracePath); err != nil {
+				fmt.Fprintf(os.Stderr, "sasgd-train: writing trace: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace written to %s (load in ui.perfetto.dev or chrome://tracing)\n", tracePath)
+		}
+		fmt.Print(tracer.ProfileTable("phase latency profile"))
+		if ov, total := tracer.OverlapFraction(); total > 0 {
+			fmt.Printf("allreduce overlap: %.1f%% of %v hidden behind backward\n",
+				100*float64(ov)/float64(total), total.Round(time.Microsecond))
+		}
+		if res.Comm.Words > 0 {
+			fmt.Print(res.Comm.String())
+		}
 	}
 }

@@ -2,7 +2,10 @@ package comm
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+
+	"sasgd/internal/obs"
 )
 
 // Bucketed, asynchronous allreduce: the communication half of SASGD's
@@ -73,6 +76,8 @@ type bucketOp struct {
 	chunk int
 	ready float64
 	kind  int
+	idx   int32     // bucket index, the span argument on the comm track
+	subAt obs.Stamp // submission stamp (queue-dwell span start; 0 untraced)
 	done  chan struct{}
 }
 
@@ -89,6 +94,9 @@ type BucketedAllreduce struct {
 	// goroutine instead of queueing unboundedly.
 	queue chan *bucketOp
 	wg    sync.WaitGroup
+	// tk is the rank's comm-worker trace track (nil when the group has
+	// no tracer — every probe is then a nil check).
+	tk *obs.Track
 }
 
 // NewBucketedAllreduce returns the per-rank worker for a fixed bucket
@@ -115,9 +123,11 @@ func NewBucketedAllreduce(g *Group, rank int, segments []Segment, maxInflight in
 		segs:  segments,
 		ops:   make([]bucketOp, len(segments)),
 		queue: make(chan *bucketOp, maxInflight),
+		tk:    g.tracer.CommWorker(rank),
 	}
 	for i := range b.ops {
 		b.ops[i].done = make(chan struct{}, 1)
+		b.ops[i].idx = int32(i)
 	}
 	b.wg.Add(1)
 	go b.worker()
@@ -125,15 +135,30 @@ func NewBucketedAllreduce(g *Group, rank int, segments []Segment, maxInflight in
 }
 
 // worker drains buckets in submission order — the fixed global order all
-// ranks share — and signals each op's handle.
+// ranks share — and signals each op's handle. With a tracer attached it
+// records each bucket's queue dwell (submit → pickup) and collective
+// execution as spans on the rank's comm track and feeds the group's
+// pipeline-occupancy counters; the bucket-op count is kept regardless.
 func (b *BucketedAllreduce) worker() {
 	defer b.wg.Done()
+	st := &b.g.stats[b.rank]
 	for op := range b.queue {
+		pick := b.tk.Now()
+		b.tk.Span(obs.PhaseQueueDwell, op.idx, op.subAt, pick)
 		switch op.kind {
 		case opRHD:
 			b.g.AllreduceRHDFrom(b.rank, op.buf, op.ready)
 		default:
 			b.g.AllreduceTreeChunkedFrom(b.rank, op.buf, op.chunk, op.ready)
+		}
+		st.bucketOps.Add(1)
+		if b.tk != nil {
+			end := b.tk.Now()
+			b.tk.Span(obs.PhaseAllreduce, op.idx, pick, end)
+			st.queueDwellNs.Add(int64(pick - op.subAt))
+			st.workerBusyNs.Add(int64(end - pick))
+			st.firstBusyNs.CompareAndSwap(0, int64(pick)+1)
+			st.lastDoneNs.Store(int64(end))
 		}
 		op.done <- struct{}{}
 	}
@@ -170,7 +195,16 @@ func (b *BucketedAllreduce) submit(i int, buf []float64, kind, chunkWords int, r
 	op.chunk = chunkWords
 	op.ready = ready
 	op.kind = kind
+	op.subAt = b.tk.Now()
 	b.queue <- op
+	// Yield so the worker (parked on the queue, now in the scheduler's
+	// run-next slot) picks the bucket up and starts its collective
+	// immediately. Without this, on hosts with fewer cores than
+	// goroutines the submitting compute goroutine runs to its next
+	// blocking point (the end of backward) before the worker ever runs,
+	// and the overlap the bucketing exists for never starts. Values are
+	// unaffected — scheduling never changes the summation order.
+	runtime.Gosched()
 	return Handle{done: op.done}
 }
 

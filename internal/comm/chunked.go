@@ -85,6 +85,16 @@ func (g *Group) AllreduceTreeChunked(rank int, buf []float64, chunkWords int) {
 // early layers are still backpropagating. Values are unaffected; entry
 // only stamps the wire schedule (ignored entirely without a simulation).
 func (g *Group) AllreduceTreeChunkedFrom(rank int, buf []float64, chunkWords int, entry float64) {
+	g.setAlgo(rank, algoPTree)
+	g.allreduceTreeChunkedFrom(rank, buf, chunkWords, entry)
+}
+
+// allreduceTreeChunkedFrom is the unlabeled implementation shared by
+// the "tree" (single chunk), "ptree" and non-power-of-two "rhd"
+// fallback entry points: the caller sets the rank's traffic label
+// before delegating, so the accounting reflects the algorithm the user
+// selected rather than the machinery it lowers to.
+func (g *Group) allreduceTreeChunkedFrom(rank int, buf []float64, chunkWords int, entry float64) {
 	g.checkRank(rank)
 	if g.p == 1 || len(buf) == 0 {
 		return
@@ -215,12 +225,15 @@ func (g *Group) AllreduceRHD(rank int, buf []float64) {
 // unchanged.
 func (g *Group) AllreduceRHDFrom(rank int, buf []float64, entry float64) {
 	g.checkRank(rank)
+	g.setAlgo(rank, algoRHD)
 	p := g.p
 	if p == 1 {
 		return
 	}
 	if p&(p-1) != 0 {
-		g.AllreduceTreeChunkedFrom(rank, buf, len(buf), entry)
+		// Fallback traffic stays charged to "rhd": that is the algorithm
+		// the caller asked for.
+		g.allreduceTreeChunkedFrom(rank, buf, len(buf), entry)
 		return
 	}
 	ready := entry

@@ -54,7 +54,12 @@ func addInto(dst, src []float64) {
 // the single-chunk case of the chunked pipelined tree, so the message
 // sequence and summation order are exactly the textbook algorithm's.
 func (g *Group) AllreduceTree(rank int, buf []float64) {
-	g.AllreduceTreeChunked(rank, buf, len(buf))
+	g.setAlgo(rank, algoTree)
+	entry := 0.0
+	if g.clocks != nil {
+		entry = g.clocks[rank].Now()
+	}
+	g.allreduceTreeChunkedFrom(rank, buf, len(buf), entry)
 }
 
 // ReduceTree sums buf elementwise across learners into rank 0's buf using
@@ -62,12 +67,13 @@ func (g *Group) AllreduceTree(rank int, buf []float64) {
 // should be treated as scratch.
 func (g *Group) ReduceTree(rank int, buf []float64) {
 	g.checkRank(rank)
+	g.setAlgo(rank, algoTree)
 	for step := 1; step < g.p; step <<= 1 {
 		if rank%(2*step) != 0 {
 			// This learner's subtree is complete: hand the partial sum up
 			// (zero-copy — the parent consumes it before this learner can
 			// touch buf again).
-			g.Send(rank, rank-step, buf)
+			g.sendMsg(rank, rank-step, message{data: buf})
 			return
 		}
 		peer := rank + step
@@ -86,6 +92,7 @@ func (g *Group) ReduceTree(rank int, buf []float64) {
 // binomial tree. On return every learner's buf holds root's data.
 func (g *Group) BroadcastTree(rank int, buf []float64) {
 	g.checkRank(rank)
+	g.setAlgo(rank, algoBcast)
 	// Highest power of two below p bounds the first step.
 	top := 1
 	for top < g.p {
@@ -119,6 +126,7 @@ func (g *Group) BroadcastTree(rank int, buf []float64) {
 // step. Provided as the ablation alternative to the tree (DESIGN.md §5).
 func (g *Group) AllreduceRing(rank int, buf []float64) {
 	g.checkRank(rank)
+	g.setAlgo(rank, algoRing)
 	p := g.p
 	if p == 1 {
 		return

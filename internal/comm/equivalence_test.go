@@ -151,8 +151,8 @@ func TestChunkedTreePipelinesSimulatedTime(t *testing.T) {
 		}
 		return max
 	}
-	mono := run(m)        // single chunk = monolithic schedule
-	piped := run(m / 64)  // 64-stage pipeline
+	mono := run(m)       // single chunk = monolithic schedule
+	piped := run(m / 64) // 64-stage pipeline
 	if piped >= mono*0.75 {
 		t.Errorf("pipelined allreduce not faster: chunked %.0f vs monolithic %.0f simulated seconds", piped, mono)
 	}

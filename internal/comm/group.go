@@ -3,7 +3,9 @@ package comm
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
+	"time"
+
+	"sasgd/internal/obs"
 )
 
 // message is one point-to-point transfer between learners. arrive is the
@@ -62,7 +64,7 @@ type Group struct {
 	clocks []Clock
 	cost   CostModel
 	bar    *Barrier
-	pool   sync.Pool // *poolBuf payload recycling (see pool.go)
+	pool   [64]sync.Pool // *poolBuf recycling, one pool per size class (see pool.go)
 
 	// linkFree[from][to] is the simulated time at which the directed
 	// (from → to) link finishes its last accepted transfer; nil when the
@@ -70,7 +72,14 @@ type Group struct {
 	// driving rank `from`, so no locking is needed.
 	linkFree [][]float64
 
-	wordsSent atomic.Int64 // total float64 words moved, for the traffic accounting tests
+	// stats holds the per-rank traffic/timing counters behind Stats()
+	// and WordsSent() — see stats.go for the accounting rules.
+	stats []rankStats
+
+	// tracer is the optional obs tracer (SetTracer); traceOn caches its
+	// presence so untraced receives skip the clock reads entirely.
+	tracer  *obs.Tracer
+	traceOn bool
 }
 
 // NewGroup returns a group of p learners with no time simulation.
@@ -86,7 +95,7 @@ func NewSimGroup(p int, clocks []Clock, cost CostModel) *Group {
 	if clocks != nil && len(clocks) != p {
 		panic(fmt.Sprintf("comm: NewSimGroup got %d clocks for %d learners", len(clocks), p))
 	}
-	g := &Group{p: p, clocks: clocks, cost: cost, bar: NewBarrier(p)}
+	g := &Group{p: p, clocks: clocks, cost: cost, bar: NewBarrier(p), stats: make([]rankStats, p)}
 	g.mail = make([][]chan message, p)
 	for to := range g.mail {
 		g.mail[to] = make([]chan message, p)
@@ -115,16 +124,13 @@ func (g *Group) Clock(rank int) Clock {
 	return g.clocks[rank]
 }
 
-// WordsSent returns the total number of float64 words sent through the
-// group so far (point-to-point only; server traffic is accounted by the
-// server).
-func (g *Group) WordsSent() int64 { return g.wordsSent.Load() }
-
 // Send transfers data from learner `from` to learner `to`. The slice is
 // handed off, not copied: the sender must not reuse it until the receiver
 // is done (the collectives draw transfer copies from the group's pool
-// where needed).
+// where needed). Traffic is charged to the "p2p" bucket; the collectives
+// use the internal sends so their own labels stick.
 func (g *Group) Send(from, to int, data []float64) {
+	g.setAlgo(from, algoP2P)
 	g.sendMsg(from, to, message{data: data})
 }
 
@@ -160,7 +166,7 @@ func (g *Group) sendMsgAt(from, to int, m message, ready float64) {
 		m.arrive = depart + g.cost.XferTime(from, to, len(m.data))
 		g.linkFree[from][to] = m.arrive
 	}
-	g.wordsSent.Add(int64(len(m.data)))
+	g.charge(from, len(m.data))
 	g.mail[to][from] <- m
 }
 
@@ -172,11 +178,20 @@ func (g *Group) Recv(to, from int) []float64 {
 }
 
 // recvMsg is the internal receive; collectives use it to get the pool
-// ownership marker alongside the payload.
+// ownership marker alongside the payload. With a tracer attached the
+// blocking time on the mailbox is accumulated into the receiving rank's
+// mailbox-wait counter; untraced groups skip the clock reads.
 func (g *Group) recvMsg(to, from int) message {
 	g.checkRank(from)
 	g.checkRank(to)
-	m := <-g.mail[to][from]
+	var m message
+	if g.traceOn {
+		t0 := time.Now()
+		m = <-g.mail[to][from]
+		g.stats[to].mailboxWaitNs.Add(time.Since(t0).Nanoseconds())
+	} else {
+		m = <-g.mail[to][from]
+	}
 	if g.clocks != nil {
 		g.clocks[to].Sync(m.arrive)
 	}

@@ -1,5 +1,7 @@
 package comm
 
+import "math/bits"
+
 // Per-group payload recycling. Every copy a collective puts on the wire
 // is drawn from the group's pool and returned to it by the receiver once
 // the payload has been consumed, so the steady-state allocation count of
@@ -10,28 +12,40 @@ package comm
 // pointer stored in an interface{} does not allocate, while a slice
 // header does; the wrapper travels alongside the payload inside message
 // so the receiver can hand the exact same object back with one
-// pointer-typed Put. Buffers only ever grow (a wrapper whose capacity is
-// too small for a request is reallocated in place), so a group that
-// serves mixed message sizes — rhd's halving series, ring's m/p chunks —
-// converges on a stable set of max-sized buffers instead of thrashing.
+// pointer-typed Put. Buffers are segregated into power-of-two size
+// classes (one sync.Pool per class): every wrapper in a class has
+// exactly the class's capacity, so a group serving mixed message sizes
+// — rhd's halving series, ring's m/p chunks, the chunked tree's short
+// tail chunks — reaches zero steady-state allocations regardless of
+// which goroutine happens to recycle which wrapper. A single mixed pool
+// would instead keep regrowing small wrappers whenever scheduling
+// shuffled them onto large requests.
 //
 // sync.Pool is already safe for concurrent use, which makes the pool
 // rank-safe: any learner goroutine may acquire or release from any rank.
 
-// poolBuf is one recyclable wire payload.
+// poolBuf is one recyclable wire payload; cap(data) is always exactly
+// its size class's capacity.
 type poolBuf struct {
 	data []float64
 }
 
-// acquire returns a pooled buffer resliced to n words (allocating only
-// when the pool is empty or the recycled buffer is too small — warmup).
-func (g *Group) acquire(n int) *poolBuf {
-	pb, _ := g.pool.Get().(*poolBuf)
-	if pb == nil {
-		pb = &poolBuf{}
+// sizeClass returns the index of the smallest power-of-two class that
+// holds n words.
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
 	}
-	if cap(pb.data) < n {
-		pb.data = make([]float64, n)
+	return bits.Len(uint(n - 1))
+}
+
+// acquire returns a pooled buffer resliced to n words (allocating only
+// when the n's size class has no free wrapper — warmup).
+func (g *Group) acquire(n int) *poolBuf {
+	c := sizeClass(n)
+	pb, _ := g.pool[c].Get().(*poolBuf)
+	if pb == nil {
+		pb = &poolBuf{data: make([]float64, 1<<c)}
 	}
 	pb.data = pb.data[:n]
 	return pb
@@ -42,6 +56,6 @@ func (g *Group) acquire(n int) *poolBuf {
 // external Send callers) carry a nil pb and are left alone.
 func (g *Group) releaseMsg(m message) {
 	if m.pb != nil {
-		g.pool.Put(m.pb)
+		g.pool[sizeClass(cap(m.pb.data))].Put(m.pb)
 	}
 }

@@ -150,11 +150,15 @@ func decodeSparse(buf []float64) SparseVec {
 // the time model rewards.
 func (g *Group) AllreduceSparseTree(rank int, contrib SparseVec) SparseVec {
 	g.checkRank(rank)
+	g.setAlgo(rank, algoSparse)
 	acc := contrib
 	// Reduce to rank 0.
 	for step := 1; step < g.p; step <<= 1 {
 		if rank%(2*step) != 0 {
-			g.Send(rank, rank-step, acc.encode())
+			// encode ships index+value pairs, so the message length — and
+			// the words charged — is exactly acc.Words(): the sparse paths
+			// are accounted by the same len(payload) rule as the dense ones.
+			g.sendMsg(rank, rank-step, message{data: acc.encode()})
 			break
 		}
 		peer := rank + step
@@ -172,7 +176,7 @@ func (g *Group) AllreduceSparseTree(rank int, contrib SparseVec) SparseVec {
 		case rank%(2*step) == 0:
 			peer := rank + step
 			if peer < g.p {
-				g.Send(rank, peer, acc.encode())
+				g.sendMsg(rank, peer, message{data: acc.encode()})
 			}
 		case rank%(2*step) == step:
 			acc = decodeSparse(g.Recv(rank, rank-step))

@@ -1,0 +1,221 @@
+package comm
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"sasgd/internal/metrics"
+	"sasgd/internal/obs"
+)
+
+// Unified communication statistics. Every send is charged to the
+// collective algorithm that issued it: each public collective entry
+// point labels its rank with an algorithm id on entry, and sendMsgAt
+// charges the message's words to that rank's (algorithm) counter. The
+// counters are per-rank — each rank's label and counters are touched
+// only by the goroutine currently driving that rank (its learner, or
+// its comm worker; the two never run a collective concurrently) — so
+// the hot path takes no locks and shares no cache lines across ranks.
+// They are atomics anyway so the -debug-addr endpoint can read a
+// consistent-enough live snapshot mid-run.
+//
+// Wire-size convention: one "word" is one float64 payload element, the
+// unit the fabric cost model charges (XferTime) and the unit the
+// paper's O(m log p) vs O(mp) traffic comparison counts. Sparse
+// collectives ship encoded (index, value) pairs, so a k-entry sparse
+// message is 2k words — SparseVec.Words — charged by the same
+// len(payload) rule as the dense paths; the exact-pin tests in
+// stats_test.go keep the two accountings consistent. Bytes reports
+// words at the 8-byte float64 wire representation the channels carry.
+
+// algo identifies the collective algorithm a send is charged to.
+type algo uint32
+
+const (
+	algoP2P    algo = iota // bare Send/Recv outside any collective
+	algoTree               // monolithic binomial tree (allreduce/reduce)
+	algoPTree              // chunked pipelined binomial tree
+	algoRHD                // recursive halving/doubling
+	algoRing               // ring reduce-scatter + allgather
+	algoSparse             // sparse (index+value) binomial tree
+	algoBcast              // binomial-tree broadcast
+	numAlgos
+)
+
+var algoNames = [numAlgos]string{
+	"p2p", "tree", "ptree", "rhd", "ring", "sparse", "bcast",
+}
+
+// rankStats is one rank's counters. cur is the algorithm label set by
+// the collective entry points; the rest accumulate until ResetStats.
+// The trailing pad keeps adjacent ranks' hot counters off one cache
+// line.
+type rankStats struct {
+	cur   atomic.Uint32
+	words [numAlgos]atomic.Int64
+	msgs  [numAlgos]atomic.Int64
+
+	mailboxWaitNs atomic.Int64 // recv-side blocking time (tracer-gated)
+
+	// Comm-worker pipeline accounting (bucketed allreduce).
+	bucketOps    atomic.Int64
+	queueDwellNs atomic.Int64
+	workerBusyNs atomic.Int64
+	firstBusyNs  atomic.Int64 // first bucket pickup (tracer clock), +1 to distinguish from unset
+	lastDoneNs   atomic.Int64 // latest bucket completion (tracer clock)
+
+	_ [40]byte
+}
+
+// setAlgo labels the rank's subsequent sends. Called on entry to every
+// public collective by the goroutine driving the rank.
+func (g *Group) setAlgo(rank int, a algo) { g.stats[rank].cur.Store(uint32(a)) }
+
+// charge accounts one outgoing message from rank under its current
+// algorithm label. Hot path: two uncontended atomic adds.
+func (g *Group) charge(rank, words int) {
+	st := &g.stats[rank]
+	a := st.cur.Load()
+	st.words[a].Add(int64(words))
+	st.msgs[a].Add(1)
+}
+
+// SetTracer attaches an obs tracer to the group: bucketed comm workers
+// record queue-dwell and allreduce spans on per-rank comm tracks, and
+// receives measure mailbox blocking time. Call before the learner
+// goroutines start; a nil tracer (the default) leaves every probe on
+// its nil-check-only fast path.
+func (g *Group) SetTracer(tr *obs.Tracer) {
+	g.tracer = tr
+	g.traceOn = tr != nil
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (g *Group) Tracer() *obs.Tracer { return g.tracer }
+
+// AlgoStats is the traffic charged to one collective algorithm.
+type AlgoStats struct {
+	Words    int64 // float64 payload words
+	Messages int64 // point-to-point messages
+}
+
+// Stats is a snapshot of the group's communication counters. Safe to
+// take mid-run (atomics only); exact once the learners have quiesced.
+type Stats struct {
+	Words    int64 // total float64 words moved, all algorithms
+	Messages int64 // total point-to-point messages
+	Bytes    int64 // Words at the 8-byte float64 wire representation
+
+	PerAlgo map[string]AlgoStats // traffic by collective algorithm (zero rows omitted)
+
+	MailboxWait time.Duration // total recv-side blocking (tracer-gated; 0 untraced)
+
+	// Bucketed-allreduce pipeline, summed over ranks. Occupancy is the
+	// mean over active ranks of busy/(last completion − first pickup):
+	// 1.0 means the worker never idled between buckets. Timings are
+	// tracer-gated; BucketOps counts regardless.
+	BucketOps         int64
+	QueueDwell        time.Duration
+	WorkerBusy        time.Duration
+	PipelineOccupancy float64
+}
+
+// Stats returns the current counter snapshot.
+func (g *Group) Stats() Stats {
+	var s Stats
+	s.PerAlgo = make(map[string]AlgoStats, numAlgos)
+	var occSum float64
+	var occN int
+	for r := range g.stats {
+		st := &g.stats[r]
+		for a := algo(0); a < numAlgos; a++ {
+			w, m := st.words[a].Load(), st.msgs[a].Load()
+			if w == 0 && m == 0 {
+				continue
+			}
+			as := s.PerAlgo[algoNames[a]]
+			as.Words += w
+			as.Messages += m
+			s.PerAlgo[algoNames[a]] = as
+			s.Words += w
+			s.Messages += m
+		}
+		s.MailboxWait += time.Duration(st.mailboxWaitNs.Load())
+		s.BucketOps += st.bucketOps.Load()
+		s.QueueDwell += time.Duration(st.queueDwellNs.Load())
+		busy := st.workerBusyNs.Load()
+		s.WorkerBusy += time.Duration(busy)
+		if first := st.firstBusyNs.Load(); first != 0 {
+			if span := st.lastDoneNs.Load() - (first - 1); span > 0 {
+				occSum += float64(busy) / float64(span)
+				occN++
+			}
+		}
+	}
+	if occN > 0 {
+		s.PipelineOccupancy = occSum / float64(occN)
+	}
+	s.Bytes = 8 * s.Words
+	return s
+}
+
+// WordsSent returns the total number of float64 words sent through the
+// group so far (point-to-point only; server traffic is accounted by the
+// server). Equivalent to Stats().Words; kept as the compact accessor
+// the traffic-pinned tests use.
+func (g *Group) WordsSent() int64 {
+	var w int64
+	for r := range g.stats {
+		for a := algo(0); a < numAlgos; a++ {
+			w += g.stats[r].words[a].Load()
+		}
+	}
+	return w
+}
+
+// ResetStats zeroes every counter (traffic, mailbox wait, pipeline),
+// so a caller can scope accounting to a phase of a run. Must not race
+// with in-flight collectives.
+func (g *Group) ResetStats() {
+	for r := range g.stats {
+		st := &g.stats[r]
+		for a := algo(0); a < numAlgos; a++ {
+			st.words[a].Store(0)
+			st.msgs[a].Store(0)
+		}
+		st.mailboxWaitNs.Store(0)
+		st.bucketOps.Store(0)
+		st.queueDwellNs.Store(0)
+		st.workerBusyNs.Store(0)
+		st.firstBusyNs.Store(0)
+		st.lastDoneNs.Store(0)
+	}
+}
+
+// String renders the snapshot as an aligned table (internal/metrics
+// style), one row per algorithm plus a totals row, followed by the
+// pipeline lines when the bucketed path ran.
+func (s Stats) String() string {
+	tab := metrics.Table{
+		Title:  "comm traffic",
+		Header: []string{"algo", "words", "messages", "bytes"},
+	}
+	for a := algo(0); a < numAlgos; a++ {
+		as, ok := s.PerAlgo[algoNames[a]]
+		if !ok {
+			continue
+		}
+		tab.AddRow(algoNames[a], fmt.Sprint(as.Words), fmt.Sprint(as.Messages), fmt.Sprint(8*as.Words))
+	}
+	tab.AddRow("total", fmt.Sprint(s.Words), fmt.Sprint(s.Messages), fmt.Sprint(s.Bytes))
+	out := tab.String()
+	if s.MailboxWait > 0 {
+		out += fmt.Sprintf("mailbox wait: %v\n", s.MailboxWait)
+	}
+	if s.BucketOps > 0 {
+		out += fmt.Sprintf("bucketed pipeline: %d ops, dwell %v, busy %v, occupancy %.2f\n",
+			s.BucketOps, s.QueueDwell, s.WorkerBusy, s.PipelineOccupancy)
+	}
+	return out
+}

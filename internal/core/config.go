@@ -16,6 +16,7 @@ import (
 	"sasgd/internal/data"
 	"sasgd/internal/netsim"
 	"sasgd/internal/nn"
+	"sasgd/internal/obs"
 )
 
 var (
@@ -34,6 +35,30 @@ func DefaultOverlap() bool {
 		defaultOverlap = s == "1" || s == "true"
 	})
 	return defaultOverlap
+}
+
+var (
+	traceOnce        sync.Once
+	defaultTracePath string
+)
+
+// DefaultTracePath returns the Chrome-trace output path requested by
+// the SASGD_TRACE environment variable: "1" or "true" select
+// "trace.json", any other non-empty value is used as the path itself,
+// and empty (the default) leaves tracing off. Commands consult it when
+// their -trace flag is unset, mirroring the -overlap/SASGD_OVERLAP
+// precedence.
+func DefaultTracePath() string {
+	traceOnce.Do(func() {
+		switch s := os.Getenv("SASGD_TRACE"); s {
+		case "":
+		case "1", "true":
+			defaultTracePath = "trace.json"
+		default:
+			defaultTracePath = s
+		}
+	})
+	return defaultTracePath
 }
 
 // Algorithm identifies one of the implemented training algorithms.
@@ -146,6 +171,16 @@ type Config struct {
 	// EvalEvery records accuracy every this many collective epochs
 	// (default 1). Evaluation itself is never charged to simulated time.
 	EvalEvery int
+
+	// Tracer, when non-nil, records per-learner phase spans (forward,
+	// backward, local step, bucket begins, aggregation wait/apply) and
+	// per-rank comm-worker spans into obs ring buffers, for Chrome-trace
+	// export and phase-latency profiles after the run. It also attaches
+	// to the comm group, enabling mailbox-wait and pipeline-occupancy
+	// accounting in the group's Stats. Applies to the collective
+	// (SASGD/SGD) path; nil (the default) keeps every probe on its
+	// nil-check-only fast path.
+	Tracer *obs.Tracer
 
 	// Sim, when non-nil, attaches the fabric simulator: compute and
 	// communication are charged to per-learner clocks and the result

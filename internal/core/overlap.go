@@ -4,6 +4,7 @@ import (
 	"sasgd/internal/comm"
 	"sasgd/internal/model"
 	"sasgd/internal/nn"
+	"sasgd/internal/obs"
 	"sasgd/internal/tensor"
 )
 
@@ -54,12 +55,16 @@ type overlapAggregator struct {
 	// start/dt is the current aggregation batch's simulated span, set by
 	// the training loop from Sim.BatchSpan before the step runs.
 	start, dt float64
+	// tk is the learner's trace track: each bucket's accumulate+submit is
+	// recorded as a bucket_begin span, which nests inside the backward
+	// span on the exported timeline. Nil when untraced.
+	tk *obs.Track
 }
 
 // newOverlapAggregator builds the learner's bucket plan and starts its
 // comm worker. Returns nil for a network with no parameters (the serial
 // path handles the degenerate case).
-func newOverlapAggregator(group *comm.Group, rank int, cfg Config, net *nn.Network, gs []float64) *overlapAggregator {
+func newOverlapAggregator(group *comm.Group, rank int, cfg Config, net *nn.Network, gs []float64, tk *obs.Track) *overlapAggregator {
 	psegs := net.ParamSegments()
 	if len(psegs) == 0 {
 		return nil
@@ -73,6 +78,7 @@ func newOverlapAggregator(group *comm.Group, rank int, cfg Config, net *nn.Netwo
 		grads:    net.GradData(),
 		chunk:    cfg.CommChunk,
 		rhd:      cfg.Allreduce == AllreduceRHD,
+		tk:       tk,
 	}
 	for i := range ov.bucketAt {
 		ov.bucketAt[i] = -1
@@ -108,6 +114,7 @@ func (ov *overlapAggregator) onLayerDone(layer int) {
 	if bi < 0 {
 		return
 	}
+	bs := ov.tk.Begin()
 	s := ov.segs[bi]
 	tensor.Axpy(1, ov.grads[s.Off:s.Off+s.Len], ov.gs[s.Off:s.Off+s.Len])
 	ready := 0.0
@@ -119,6 +126,7 @@ func (ov *overlapAggregator) onLayerDone(layer int) {
 	} else {
 		ov.handles[bi] = ov.b.Begin(bi, ov.gs, ov.chunk, ready)
 	}
+	ov.tk.EndArg(obs.PhaseBucketBegin, int32(bi), bs)
 }
 
 // wait blocks until every bucket launched this interval has completed;

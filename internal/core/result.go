@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"sasgd/internal/comm"
 	"sasgd/internal/data"
 	"sasgd/internal/metrics"
 	"sasgd/internal/nn"
@@ -39,6 +40,11 @@ type Result struct {
 	// WordsMoved is the number of parameter words transferred through
 	// the group collectives (SASGD) during the run.
 	WordsMoved int64
+
+	// Comm is the group's full communication-stats snapshot (traffic per
+	// collective algorithm, mailbox wait, bucketed-pipeline occupancy) for
+	// the collective algorithms; zero value for the server-based ones.
+	Comm comm.Stats
 
 	// FinalParams is learner 0's parameter vector when it finished its
 	// run (the parameters the final accuracies were evaluated at for the

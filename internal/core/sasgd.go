@@ -5,6 +5,7 @@ import (
 
 	"sasgd/internal/comm"
 	"sasgd/internal/data"
+	"sasgd/internal/obs"
 	"sasgd/internal/tensor"
 )
 
@@ -34,6 +35,11 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 	} else {
 		group = comm.NewGroup(p)
 	}
+	// Attach the tracer before the learner goroutines start: comm workers
+	// pick up their trace tracks at creation, and the tracer's live stats
+	// source serves the group's counters to the debug endpoint.
+	group.SetTracer(cfg.Tracer)
+	cfg.Tracer.SetStats(func() interface{} { return group.Stats() })
 	rec := newRecorder(prob)
 	var samples atomic.Int64
 	var finalParams []float64
@@ -43,9 +49,13 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 		m := net.NumParams()
 		params := net.ParamData()
 		grads := net.GradData()
+		tk := cfg.Tracer.Learner(rank)
+		net.SetTrack(tk)
 
 		// x ← broadcast(x, p, id); x′ ← x
+		bs := tk.Begin()
 		group.BroadcastTree(rank, params)
+		tk.End(obs.PhaseBcast, bs)
 		xref := append([]float64(nil), params...)
 		gs := make([]float64, m)
 		// Error-feedback residual for top-k compression: the part of gs
@@ -62,7 +72,7 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 		// of serially after the full backward pass.
 		var ov *overlapAggregator
 		if cfg.overlapActive() {
-			ov = newOverlapAggregator(group, rank, cfg, net, gs)
+			ov = newOverlapAggregator(group, rank, cfg, net, gs, tk)
 		}
 
 		sampler := data.NewEpochSampler(shards[rank].Len(), cfg.Batch, cfg.Seed+int64(rank)*31+7)
@@ -85,28 +95,34 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 						ov.start, ov.dt = cfg.Sim.BatchSpan(rank, cfg.FlopsPerSample*float64(len(idx)))
 					}
 					lastLoss = net.StepEach(x, y, ov.onLayerDone)
+					ws := tk.Begin()
 					ov.wait()
+					tk.End(obs.PhaseAggWait, ws)
 					// The serial path's local update x ← x − γ·g on this
 					// batch is overwritten by x ← x′ below, so it is
 					// skipped. x′ ← x′ − γp·gs ; x ← x′ ; gs ← 0.
+					as := tk.Begin()
 					tensor.Axpy(-cfg.GammaP, gs, xref)
 					tensor.Copy(params, xref)
 					clear(gs)
+					tk.End(obs.PhaseAggApply, as)
 					samples.Add(int64(len(idx)))
 					step++
 					continue
 				}
 				lastLoss = net.Step(x, y)
 				// x ← x − γ·g ; gs ← gs + g
+				ls := tk.Begin()
 				tensor.Axpy(-cfg.Gamma, grads, params)
 				tensor.Axpy(1, grads, gs)
+				tk.End(obs.PhaseLocalStep, ls)
 				samples.Add(int64(len(idx)))
 				if cfg.Sim != nil {
 					cfg.Sim.ChargeBatch(rank, cfg.FlopsPerSample*float64(len(idx)))
 				}
 				step++
 				if step%cfg.Interval == 0 {
-					aggregate(group, rank, cfg, gs, residual, xref, params)
+					aggregate(group, rank, cfg, gs, residual, xref, params, tk)
 				}
 			}
 			// Collective epoch boundary: synchronize and let learner 0
@@ -141,6 +157,7 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 		SimCompute:  compute,
 		SimComm:     communication,
 		WordsMoved:  group.WordsSent(),
+		Comm:        group.Stats(),
 		FinalParams: finalParams,
 	}
 }
@@ -148,7 +165,10 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 // aggregate performs one global aggregation: allreduce gs (dense, or
 // top-k sparsified with an error-feedback residual), apply the aggregate
 // to the reference parameters with γp, reset the local replica, clear gs.
-func aggregate(group *comm.Group, rank int, cfg Config, gs, residual, xref, params []float64) {
+// On the serial path the blocking collective is recorded as the agg_wait
+// span and the γp application as agg_apply, mirroring the overlapped
+// path's spans so profiles compare like with like.
+func aggregate(group *comm.Group, rank int, cfg Config, gs, residual, xref, params []float64, tk *obs.Track) {
 	k := len(gs)
 	if cfg.CompressTopK > 0 && cfg.CompressTopK < 1 {
 		k = int(cfg.CompressTopK * float64(len(gs)))
@@ -165,13 +185,17 @@ func aggregate(group *comm.Group, rank int, cfg Config, gs, residual, xref, para
 		for i, j := range sent.Idx {
 			residual[j] -= sent.Val[i]
 		}
+		ws := tk.Begin()
 		sum := group.AllreduceSparseTree(rank, sent)
+		tk.End(obs.PhaseAggWait, ws)
 		// x′ ← x′ − γp·Σ sparsified(gs) ; x ← x′ ; gs ← 0
+		as := tk.Begin()
 		for i, j := range sum.Idx {
 			xref[j] -= cfg.GammaP * sum.Val[i]
 		}
 		tensor.Copy(params, xref)
 		clear(gs)
+		tk.End(obs.PhaseAggApply, as)
 		return
 	}
 	// Dense path — including the degenerate "ship everything" compression
@@ -182,6 +206,7 @@ func aggregate(group *comm.Group, rank int, cfg Config, gs, residual, xref, para
 		tensor.Axpy(1, residual, gs)
 		clear(residual)
 	}
+	ws := tk.Begin()
 	switch cfg.Allreduce {
 	case AllreduceRing:
 		group.AllreduceRing(rank, gs)
@@ -192,8 +217,11 @@ func aggregate(group *comm.Group, rank int, cfg Config, gs, residual, xref, para
 	default:
 		group.AllreduceTree(rank, gs)
 	}
+	tk.End(obs.PhaseAggWait, ws)
 	// x′ ← x′ − γp·gs ; x ← x′ ; gs ← 0
+	as := tk.Begin()
 	tensor.Axpy(-cfg.GammaP, gs, xref)
 	tensor.Copy(params, xref)
 	clear(gs)
+	tk.End(obs.PhaseAggApply, as)
 }

@@ -152,6 +152,12 @@ type Opt struct {
 	Replicas int
 	// Out receives the rendered table/series (nil = no printing).
 	Out io.Writer
+	// TracePath, when non-empty, makes the tracing-aware drivers
+	// (TracedOverlap) export their Chrome trace-event JSON there.
+	TracePath string
+	// DebugAddr, when non-empty, serves the live /debug/obs endpoint on
+	// this address for the duration of the traced runs.
+	DebugAddr string
 }
 
 func (o Opt) out() io.Writer {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"sasgd/internal/obs"
 	"sasgd/internal/tensor"
 )
 
@@ -20,6 +21,7 @@ type Network struct {
 	flatG    []float64
 	inShape  []int // per-sample input shape
 	criteria *SoftmaxCrossEntropy
+	track    *obs.Track // owning learner's trace track; nil = untraced
 }
 
 // NewNetwork builds a network from layers, validates that the per-sample
@@ -178,13 +180,25 @@ func (n *Network) Step(x *tensor.Tensor, labels []int) float64 {
 
 // StepEach is Step with BackwardEach's per-layer finalization hook
 // threaded through, so a caller can overlap work (gradient accumulation,
-// communication) with the remainder of the backward pass.
+// communication) with the remainder of the backward pass. With a track
+// attached (SetTrack) the forward+loss and backward halves are recorded
+// as spans; bucket launches made from onFinal then nest inside the
+// backward span on the timeline.
 func (n *Network) StepEach(x *tensor.Tensor, labels []int, onFinal func(layer int)) float64 {
+	s := n.track.Begin()
 	logits := n.Forward(x, true)
 	loss := n.Loss(logits, labels)
+	n.track.End(obs.PhaseForward, s)
+	s = n.track.Begin()
 	n.BackwardEach(onFinal)
+	n.track.End(obs.PhaseBackward, s)
 	return loss
 }
+
+// SetTrack attaches the owning learner's trace track (nil detaches;
+// the untraced path is a nil check per Step half). The network is used
+// by one goroutine, so the field is unsynchronized by design.
+func (n *Network) SetTrack(t *obs.Track) { n.track = t }
 
 // Predict returns the argmax class for each sample in x, running the
 // network in inference mode.

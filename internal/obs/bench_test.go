@@ -1,0 +1,27 @@
+package obs
+
+import "testing"
+
+// The two numbers that matter for the overhead budget: the disabled
+// probe (a nil check, paid by every instrumented hot path in every
+// run) and the enabled record (clock read + ring write + two atomic
+// adds, paid only under -trace).
+
+func BenchmarkDisabledProbe(b *testing.B) {
+	var tk *Track
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tk.Begin()
+		tk.End(PhaseForward, s)
+	}
+}
+
+func BenchmarkEnabledRecord(b *testing.B) {
+	tr := NewTracer(1 << 10)
+	tk := tr.Learner(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tk.Begin()
+		tk.End(PhaseForward, s)
+	}
+}

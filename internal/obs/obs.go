@@ -1,0 +1,312 @@
+// Package obs is the per-learner tracing and counters subsystem: a
+// low-overhead span recorder that core, comm and nn emit phase timings
+// into, plus exporters that turn a recorded run into a Chrome
+// trace-event (Perfetto) JSON timeline, a plain-text phase-latency
+// profile (p50/p95/p99 per phase per track), and a live HTTP debug
+// snapshot.
+//
+// Design constraints, in priority order:
+//
+//  1. The disabled path must be provably free. Every recording method is
+//     defined on a nil-able *Track and begins with a nil check; with
+//     tracing off (the default) the instrumented hot paths pay one
+//     predicted branch per probe and zero allocations (pinned by
+//     AllocsPerRun tests here and in internal/comm).
+//  2. The enabled path must stay off the heap and off shared locks.
+//     Each Track is a preallocated ring of spans written by exactly one
+//     goroutine (its learner, or its rank's comm worker); timestamps
+//     come from the monotonic clock (time.Since of the tracer's epoch);
+//     the only cross-goroutine traffic is the atomic publish of the
+//     span count, which is what lets the debug endpoint read live
+//     aggregates without stopping the run.
+//  3. Exported timelines must be faithful: spans on one track are
+//     emitted as properly nested begin/end pairs in timestamp order, so
+//     an overlapped run visibly shows bucket allreduces flowing on the
+//     comm-worker track while the learner track is still inside its
+//     backward span.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Phase identifies one instrumented span type. The set covers the SASGD
+// hot path end to end: the three compute phases of a local step, the
+// aggregation phases of the T-th minibatch (both the serial and the
+// backward-overlapped path), and the comm-worker phases of the bucketed
+// allreduce.
+type Phase uint8
+
+// The instrumented phases.
+const (
+	PhaseForward     Phase = iota // model forward + loss
+	PhaseBackward                 // backprop (bucket begins nest inside it)
+	PhaseLocalStep                // local update x ← x − γ·g and gs += g
+	PhaseBucketBegin              // overlap path: bucket submit (incl. queue backpressure)
+	PhaseAggWait                  // blocking wait for the interval's allreduce(s)
+	PhaseAggApply                 // apply γp·gs to x′, reset replica, clear gs
+	PhaseQueueDwell               // comm worker: bucket wait in the FIFO queue
+	PhaseAllreduce                // comm worker: bucket collective execution
+	PhaseBcast                    // initial parameter broadcast
+	NumPhases                     // number of phases (array sizing)
+)
+
+var phaseNames = [NumPhases]string{
+	"forward", "backward", "local_step", "bucket_begin",
+	"agg_wait", "agg_apply", "queue_dwell", "allreduce", "bcast",
+}
+
+// String returns the phase's snake_case name (also the span name in the
+// exported trace).
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// NoArg marks a span that carries no argument.
+const NoArg int32 = -1
+
+// span is one recorded interval. 32 bytes so the default ring stays
+// cache- and memory-friendly.
+type span struct {
+	start int64 // ns since the tracer's epoch
+	dur   int64 // ns
+	phase Phase
+	arg   int32 // bucket index etc., NoArg when none
+}
+
+// phaseAgg is a track's live per-phase aggregate, readable while the
+// run is in flight (debug endpoint).
+type phaseAgg struct {
+	count atomic.Int64
+	ns    atomic.Int64
+}
+
+// Track is one timeline of spans — a learner, or a rank's comm worker.
+// All recording methods are single-writer (the owning goroutine) and
+// nil-safe: calling them on a nil *Track is the disabled fast path and
+// does nothing beyond the nil check.
+type Track struct {
+	tr      *Tracer
+	process string // trace process group ("learner", "comm")
+	name    string // thread name within the group
+	pid     int
+	tid     int
+
+	spans []span       // ring, preallocated at NewTrack
+	n     atomic.Int64 // spans ever recorded; ring slot is n % len(spans)
+	agg   [NumPhases]phaseAgg
+}
+
+// Stamp is a moment on the tracer's monotonic clock, produced by Begin
+// and consumed by End.
+type Stamp int64
+
+// Begin reads the clock for a span that End will close. On a nil track
+// it returns 0 without touching the clock.
+func (t *Track) Begin() Stamp {
+	if t == nil {
+		return 0
+	}
+	return Stamp(t.tr.now())
+}
+
+// End records a span of the given phase from s to now. No-op on a nil
+// track. The write path touches only the track's preallocated ring and
+// its own atomics — no locks, no allocation.
+func (t *Track) End(ph Phase, s Stamp) {
+	if t == nil {
+		return
+	}
+	t.record(ph, NoArg, int64(s), t.tr.now())
+}
+
+// EndArg is End carrying a span argument (e.g. the bucket index).
+func (t *Track) EndArg(ph Phase, arg int32, s Stamp) {
+	if t == nil {
+		return
+	}
+	t.record(ph, arg, int64(s), t.tr.now())
+}
+
+// Span records an interval with explicit stamps, for spans measured on
+// one goroutine and recorded on another (the comm worker records queue
+// dwell from the submitter's Begin stamp).
+func (t *Track) Span(ph Phase, arg int32, begin, end Stamp) {
+	if t == nil {
+		return
+	}
+	t.record(ph, arg, int64(begin), int64(end))
+}
+
+// Now reads the tracer's clock (0 on a nil track); used to stamp
+// cross-goroutine spans recorded later via Span.
+func (t *Track) Now() Stamp {
+	if t == nil {
+		return 0
+	}
+	return Stamp(t.tr.now())
+}
+
+func (t *Track) record(ph Phase, arg int32, start, end int64) {
+	i := t.n.Load()
+	t.spans[i%int64(len(t.spans))] = span{start: start, dur: end - start, phase: ph, arg: arg}
+	// Publish after the slot write so concurrent aggregate readers never
+	// see slot i; the ring contents themselves are only read after the
+	// writers have quiesced (export/profile) — see Tracer doc.
+	t.n.Store(i + 1)
+	t.agg[ph].count.Add(1)
+	t.agg[ph].ns.Add(end - start)
+}
+
+// Len returns the number of spans ever recorded (recorded, not
+// retained: the ring keeps the most recent Cap()).
+func (t *Track) Len() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.n.Load())
+}
+
+// Cap returns the ring capacity in spans.
+func (t *Track) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.spans)
+}
+
+// Dropped returns how many early spans the ring has overwritten.
+func (t *Track) Dropped() int {
+	if d := t.Len() - t.Cap(); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// retained returns the retained spans oldest-first. Only valid once the
+// writing goroutine has quiesced.
+func (t *Track) retained() []span {
+	n := t.n.Load()
+	c := int64(len(t.spans))
+	if n <= c {
+		return t.spans[:n]
+	}
+	// Ring wrapped: unfold oldest-first.
+	out := make([]span, c)
+	head := n % c
+	copy(out, t.spans[head:])
+	copy(out[c-head:], t.spans[:head])
+	return out
+}
+
+// DefaultTrackSpans is the default ring capacity per track: 16384 spans
+// (512 KiB). A reduced-scale traced run records a few thousand spans
+// per track; longer runs keep the most recent window.
+const DefaultTrackSpans = 1 << 14
+
+// Tracer owns a run's tracks and the shared monotonic epoch. Track
+// creation is locked (it happens once per learner at run setup); span
+// recording is per-track and lock-free. Export and profiles read the
+// rings and must run after the recording goroutines have finished (end
+// of run); the live aggregates and the stats source are safe at any
+// time.
+type Tracer struct {
+	epoch    time.Time
+	trackCap int
+	nowFn    func() int64 // test hook; nil = monotonic clock
+	mu       sync.Mutex
+	tracks   []*Track
+	statsFn  atomic.Value // func() interface{} — live comm-stats source
+}
+
+// NewTracer returns a tracer whose tracks hold trackSpans spans each
+// (≤ 0 selects DefaultTrackSpans).
+func NewTracer(trackSpans int) *Tracer {
+	if trackSpans <= 0 {
+		trackSpans = DefaultTrackSpans
+	}
+	return &Tracer{epoch: time.Now(), trackCap: trackSpans}
+}
+
+func (tr *Tracer) now() int64 {
+	if tr.nowFn != nil {
+		return tr.nowFn()
+	}
+	return int64(time.Since(tr.epoch))
+}
+
+// Trace process ids of the standard track groups.
+const (
+	pidLearner = 1
+	pidComm    = 2
+)
+
+// NewTrack registers a new track under the given process group name and
+// thread name/ids. Nil-safe: returns nil (the disabled track) on a nil
+// tracer, so call sites wire tracks unconditionally.
+func (tr *Tracer) NewTrack(process, name string, pid, tid int) *Track {
+	if tr == nil {
+		return nil
+	}
+	t := &Track{tr: tr, process: process, name: name, pid: pid, tid: tid,
+		spans: make([]span, tr.trackCap)}
+	tr.mu.Lock()
+	tr.tracks = append(tr.tracks, t)
+	tr.mu.Unlock()
+	return t
+}
+
+// Learner returns a new track on the learner process group for the
+// given rank (nil on a nil tracer).
+func (tr *Tracer) Learner(rank int) *Track {
+	if tr == nil {
+		return nil
+	}
+	return tr.NewTrack("learner", fmt.Sprintf("learner %d", rank), pidLearner, rank)
+}
+
+// CommWorker returns a new track on the comm-worker process group for
+// the given rank (nil on a nil tracer).
+func (tr *Tracer) CommWorker(rank int) *Track {
+	if tr == nil {
+		return nil
+	}
+	return tr.NewTrack("comm", fmt.Sprintf("comm worker %d", rank), pidComm, rank)
+}
+
+// Tracks returns the registered tracks in creation order.
+func (tr *Tracer) Tracks() []*Track {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]*Track(nil), tr.tracks...)
+}
+
+// SetStats registers a live statistics source (typically the comm
+// group's Stats closure) that the debug endpoint serves alongside the
+// phase aggregates. Nil-safe.
+func (tr *Tracer) SetStats(f func() interface{}) {
+	if tr == nil || f == nil {
+		return
+	}
+	tr.statsFn.Store(f)
+}
+
+// Stats invokes the registered live source (nil when none).
+func (tr *Tracer) Stats() interface{} {
+	if tr == nil {
+		return nil
+	}
+	if f, ok := tr.statsFn.Load().(func() interface{}); ok && f != nil {
+		return f()
+	}
+	return nil
+}

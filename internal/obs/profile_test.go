@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProfilePercentiles(t *testing.T) {
+	tr := NewTracer(256)
+	tn := int64(0)
+	tr.nowFn = func() int64 { return tn }
+	tk := tr.Learner(0)
+	// 100 forward spans of durations 1..100 µs.
+	for i := 1; i <= 100; i++ {
+		tn = 0
+		s := tk.Begin()
+		tn = int64(i) * 1000
+		tk.End(PhaseForward, s)
+	}
+	prof := tr.Profile()
+	if len(prof) != 1 {
+		t.Fatalf("profile has %d rows, want 1", len(prof))
+	}
+	p := prof[0]
+	if p.Track != "learner 0" || p.Phase != PhaseForward || p.Count != 100 {
+		t.Fatalf("unexpected row %+v", p)
+	}
+	if p.P50 != 50*time.Microsecond || p.P95 != 95*time.Microsecond || p.P99 != 99*time.Microsecond {
+		t.Errorf("p50/p95/p99 = %v/%v/%v, want 50µs/95µs/99µs", p.P50, p.P95, p.P99)
+	}
+	if want := time.Duration(5050) * time.Microsecond; p.Total != want {
+		t.Errorf("total = %v, want %v", p.Total, want)
+	}
+}
+
+func TestProfileTableRendersEveryPhase(t *testing.T) {
+	tr := buildGoldenTracer()
+	out := tr.ProfileTable("phase profile")
+	for _, want := range []string{"phase profile", "track", "p50", "p95", "p99",
+		"forward", "backward", "bucket_begin", "agg_wait", "agg_apply",
+		"queue_dwell", "allreduce", "learner 0", "comm worker 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOverlapFraction(t *testing.T) {
+	// Golden shape: backward [100,1000]; allreduces [300,700] (fully
+	// inside) and [700,1100] (300 of 400 inside). Overlapped = 400+300,
+	// total = 800.
+	tr := buildGoldenTracer()
+	overlapped, total := tr.OverlapFraction()
+	if total != 800 {
+		t.Fatalf("total allreduce = %v, want 800ns", total)
+	}
+	if overlapped != 700 {
+		t.Errorf("overlapped = %v, want 700ns", overlapped)
+	}
+}
+
+func TestOverlapFractionIgnoresOtherRanks(t *testing.T) {
+	tr := NewTracer(16)
+	tn := int64(0)
+	tr.nowFn = func() int64 { return tn }
+	l0 := tr.Learner(0)
+	w1 := tr.CommWorker(1) // different rank: no learner-0 overlap credit
+	tn = 0
+	s := l0.Begin()
+	tn = 1000
+	l0.End(PhaseBackward, s)
+	w1.Span(PhaseAllreduce, 0, 0, 500)
+	overlapped, total := tr.OverlapFraction()
+	if total != 500 || overlapped != 0 {
+		t.Errorf("overlapped/total = %v/%v, want 0/500 (rank mismatch)", overlapped, total)
+	}
+}

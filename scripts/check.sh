@@ -34,10 +34,20 @@ echo "==> go test -race -count=2 bucketed/overlap equivalence + stress"
 go test -race -count=2 -run 'Bucketed|Overlap' ./internal/comm/
 go test -race -count=2 -run 'Overlap' ./internal/core/
 
+# The tracing subsystem's whole design is lock-free concurrent recording
+# (per-track ring buffers, atomic counters), so give its concurrency
+# tests the same extra race-detector rounds.
+echo "==> go test -race -count=2 obs concurrent tracing"
+go test -race -count=2 -run 'Concurrent' ./internal/obs/
+
 # Steady-state allocation pins (the race detector's instrumentation
 # allocates, so these only check out in a plain build): bucketed
-# allreduce rounds must stay zero-alloc on the pooled buffers.
+# allreduce rounds must stay zero-alloc on the pooled buffers, and the
+# disabled tracing path must stay nil-check-only free (the obs pin also
+# covers the enabled record fast path).
 echo "==> go test bucketed zero-alloc pin"
 go test -run 'SteadyStateAllocs' ./internal/comm/
+echo "==> go test obs disabled-path zero-alloc pin"
+go test -run 'NilTrackIsSafeAndFree|EnabledRecordIsAllocFree' ./internal/obs/
 
 echo "OK"
