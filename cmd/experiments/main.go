@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset: tables, theorem1, fig1..fig10, averaging, trace (default: all)")
+	only := flag.String("only", "", "comma-separated subset: tables, theorem1, fig1..fig10, averaging, trace, faults (default: all)")
 	epochs := flag.Int("epochs", 0, "override every figure's epoch budget (0 = per-figure default)")
 	seed := flag.Int64("seed", 0, "seed offset for replication runs")
 	replicas := flag.Int("replicas", 3, "seeds averaged per convergence curve (1 = single run)")
@@ -58,6 +58,7 @@ func main() {
 		{"fig10", func() interface{} { return experiments.Fig10(opt) }},
 		{"averaging", func() interface{} { return experiments.AveragingVariants(opt) }},
 		{"trace", func() interface{} { return experiments.TracedOverlap(opt) }},
+		{"faults", func() interface{} { return experiments.DegradedRuns(opt) }},
 	}
 
 	want := map[string]bool{}

@@ -12,8 +12,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"sasgd/internal/comm"
 	"sasgd/internal/core"
 	"sasgd/internal/experiments"
 	"sasgd/internal/metrics"
@@ -41,6 +44,11 @@ func main() {
 	sim := flag.Bool("sim", false, "attach the fabric simulator and report simulated epoch time")
 	vtime := flag.Bool("vtime", false, "deterministic virtual-time scheduling for the asynchronous algorithms")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file (default also via SASGD_TRACE=1 or SASGD_TRACE=path; load in ui.perfetto.dev)")
+	faults := flag.String("faults", "", "SASGD fault-injection plan, e.g. seed=1,drop=0.05,slow=2:4,crash=3@10,evict=500ms (default also via SASGD_FAULTS)")
+	ckpt := flag.String("ckpt", "", "SASGD checkpoint path written at aggregation boundaries; a %d in the path keeps one file per boundary")
+	ckptEvery := flag.Int("ckpt-every", 1, "checkpoint every Nth aggregation boundary (with -ckpt)")
+	resume := flag.String("resume", "", "resume SASGD training from this checkpoint file")
+	resumeRanks := flag.String("resume-ranks", "", "comma-separated original ranks the resumed learners play, e.g. 0,1,3 after rank 2 died (default: all of them)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/obs live snapshots on this address during the run (e.g. localhost:6060)")
 	flag.Parse()
 
@@ -104,6 +112,38 @@ func main() {
 		cfg.FlopsPerSample = w.PaperCost.TrainFlopsPerSample
 	}
 
+	// Fault injection and checkpoint-restart: the flag wins, the
+	// SASGD_FAULTS env supplies the default (same precedence as -trace).
+	faultSpec := *faults
+	if faultSpec == "" {
+		faultSpec = core.DefaultFaultSpec()
+	}
+	if faultSpec != "" {
+		plan, err := comm.ParseFaultPlan(faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sasgd-train: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Faults = plan
+	}
+	cfg.CheckpointPath = *ckpt
+	cfg.CheckpointEvery = *ckptEvery
+	cfg.ResumeFrom = *resume
+	if *resumeRanks != "" {
+		for _, s := range strings.Split(*resumeRanks, ",") {
+			r, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sasgd-train: -resume-ranks: %v\n", err)
+				os.Exit(2)
+			}
+			cfg.ResumeRanks = append(cfg.ResumeRanks, r)
+		}
+	}
+	if (cfg.Faults != nil || cfg.CheckpointPath != "" || cfg.ResumeFrom != "") && cfg.Algo != core.AlgoSASGD {
+		fmt.Fprintf(os.Stderr, "sasgd-train: -faults/-ckpt/-resume require -algo sasgd (crash tolerance is built on its aggregation boundaries)\n")
+		os.Exit(2)
+	}
+
 	// Tracing: the flag wins, the SASGD_TRACE env supplies the default
 	// (same precedence as -overlap/SASGD_OVERLAP). The debug endpoint
 	// needs a tracer too, so it implies one even without a trace file.
@@ -138,6 +178,10 @@ func main() {
 		metrics.Pct(res.FinalTrain), metrics.Pct(res.FinalTest), res.Samples, res.Wall.Round(1e6))
 	if res.StalenessMax > 0 {
 		fmt.Printf("gradient staleness: mean %.2f, max %d\n", res.StalenessMean, res.StalenessMax)
+	}
+	if f := res.Comm.Faults; f.Active() {
+		fmt.Printf("faults: %d drops, %d retries, %d timeouts, %d crashes, %d evictions, %d re-forms (%d/%d learners live)\n",
+			f.Drops, f.Retries, f.Timeouts, f.Crashes, f.Evictions, f.Reforms, res.LiveP, res.P)
 	}
 	if *sim {
 		fmt.Printf("simulated: %.3fs total, %.3fs/epoch (compute %.3fs, communication %.3fs per learner)\n",

@@ -1,0 +1,72 @@
+package comm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzAllreduceEquivalence pins the allreduce implementations against
+// each other over fuzzer-chosen (p, m, chunk, seed) shapes: the chunked
+// pipelined tree must reproduce the monolithic tree bit for bit at any
+// chunk size, recursive halving/doubling must agree within 1e-12 (and
+// bit for bit on non-powers-of-two p, where it falls back to the tree).
+// One fuzz target per package keeps `go test -fuzz=.` runnable.
+func FuzzAllreduceEquivalence(f *testing.F) {
+	f.Add(uint8(1), uint16(1), uint16(1), int64(1))
+	f.Add(uint8(2), uint16(5), uint16(2), int64(7))
+	f.Add(uint8(3), uint16(23), uint16(7), int64(11))
+	f.Add(uint8(4), uint16(64), uint16(16), int64(13))
+	f.Add(uint8(5), uint16(129), uint16(3), int64(17))
+	f.Add(uint8(8), uint16(100), uint16(33), int64(19))
+	f.Fuzz(func(t *testing.T, pRaw uint8, mRaw, chunkRaw uint16, seed int64) {
+		p := int(pRaw)%8 + 1
+		m := int(mRaw)%256 + 1
+		chunk := int(chunkRaw)%(m+2) + 1
+
+		rng := rand.New(rand.NewSource(seed))
+		orig := make([][]float64, p)
+		for r := range orig {
+			orig[r] = make([]float64, m)
+			for i := range orig[r] {
+				orig[r][i] = rng.NormFloat64()
+			}
+		}
+
+		tree := cloneBufs(orig)
+		gt := NewGroup(p)
+		runGroup(p, gt, func(rank int) { gt.AllreduceTree(rank, tree[rank]) })
+
+		ptree := cloneBufs(orig)
+		gp := NewGroup(p)
+		runGroup(p, gp, func(rank int) { gp.AllreduceTreeChunked(rank, ptree[rank], chunk) })
+
+		rhd := cloneBufs(orig)
+		gh := NewGroup(p)
+		runGroup(p, gh, func(rank int) { gh.AllreduceRHD(rank, rhd[rank]) })
+
+		for r := 0; r < p; r++ {
+			for i := 0; i < m; i++ {
+				if ptree[r][i] != tree[r][i] {
+					t.Fatalf("p=%d m=%d chunk=%d rank=%d[%d]: ptree %g != tree %g (must be bitwise)",
+						p, m, chunk, r, i, ptree[r][i], tree[r][i])
+				}
+				if p&(p-1) != 0 {
+					if rhd[r][i] != tree[r][i] {
+						t.Fatalf("p=%d m=%d rank=%d[%d]: rhd fallback %g != tree %g (must be bitwise)",
+							p, m, r, i, rhd[r][i], tree[r][i])
+					}
+				} else if d := math.Abs(rhd[r][i] - tree[r][i]); d > 1e-12 {
+					t.Fatalf("p=%d m=%d rank=%d[%d]: rhd %g vs tree %g (|Δ|=%g)",
+						p, m, r, i, rhd[r][i], tree[r][i], d)
+				}
+				// Every rank of every algorithm must agree with rank 0 of
+				// its own algorithm exactly — allreduce leaves identical
+				// buffers everywhere.
+				if tree[r][i] != tree[0][i] || ptree[r][i] != ptree[0][i] || rhd[r][i] != rhd[0][i] {
+					t.Fatalf("p=%d m=%d rank=%d[%d]: ranks disagree within one algorithm", p, m, r, i)
+				}
+			}
+		}
+	})
+}

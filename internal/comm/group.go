@@ -12,11 +12,15 @@ import (
 // simulated time at which the payload is fully received (0 when the group
 // has no cost model). pb is non-nil when the payload is owned by the
 // group's buffer pool, in which case the receiver must release it after
-// consuming the data.
+// consuming the data. seq is zero on the direct (fault-free) path; under
+// an active fault plan the link daemons stamp each wire copy with the
+// link's sequence number plus one, which the receiver uses to
+// deduplicate spurious retransmissions (see faults.go).
 type message struct {
 	data   []float64
 	pb     *poolBuf
 	arrive float64
+	seq    int64
 }
 
 // PipelineDepth is the pipeline window of the chunked collectives: the
@@ -80,6 +84,22 @@ type Group struct {
 	// presence so untraced receives skip the clock reads entirely.
 	tracer  *obs.Tracer
 	traceOn bool
+
+	// Fault-injection state (nil/false without an attached FaultPlan).
+	// fab is the shared fabric — sequence counters, ack channels, fault
+	// counters — which outlives this group when the membership layer
+	// re-forms smaller groups; phys maps the group's virtual ranks to the
+	// fabric's physical ranks (nil = identity). faultRoute is true when
+	// the plan actually perturbs the data plane, in which case every
+	// point-to-point transfer runs through a per-directed-link daemon
+	// doing acknowledged stop-and-wait delivery. The daemon for a link is
+	// then the sole writer of that link's linkFree cell, preserving the
+	// single-writer invariant the unfaulted path relies on.
+	fab        *faultFabric
+	phys       []int
+	faultRoute bool
+	dMu        sync.Mutex
+	daemons    map[int]*linkDaemon
 }
 
 // NewGroup returns a group of p learners with no time simulation.
@@ -158,16 +178,97 @@ func (g *Group) sendMsg(from, to int, m message) {
 func (g *Group) sendMsgAt(from, to int, m message, ready float64) {
 	g.checkRank(from)
 	g.checkRank(to)
+	if g.faultRoute && from != to {
+		g.daemon(from, to).q <- xfer{m: m, ready: ready}
+		return
+	}
+	g.deliver(from, to, m, ready, 0)
+}
+
+// deliver is the mailbox-insertion core of sendMsgAt: stamp the
+// simulated arrival (departure = data ready ∨ link drained, plus the
+// transfer time and any injected extra latency), charge the sender's
+// traffic counters, insert. On the fault path it is called only by the
+// link's daemon goroutine, which keeps linkFree single-writer.
+func (g *Group) deliver(from, to int, m message, ready, extraDelay float64) {
 	if g.linkFree != nil {
 		depart := ready
 		if busy := g.linkFree[from][to]; busy > depart {
 			depart = busy
 		}
-		m.arrive = depart + g.cost.XferTime(from, to, len(m.data))
+		m.arrive = depart + g.cost.XferTime(from, to, len(m.data)) + extraDelay
 		g.linkFree[from][to] = m.arrive
 	}
 	g.charge(from, len(m.data))
 	g.mail[to][from] <- m
+}
+
+// daemon returns (lazily starting) the stop-and-wait daemon for the
+// directed virtual link from→to.
+func (g *Group) daemon(from, to int) *linkDaemon {
+	key := from*g.p + to
+	g.dMu.Lock()
+	defer g.dMu.Unlock()
+	d, ok := g.daemons[key]
+	if !ok {
+		d = &linkDaemon{
+			g: g, from: from, to: to,
+			pf: g.physRank(from), pt: g.physRank(to),
+			q: make(chan xfer, 2*mailboxCap),
+		}
+		g.daemons[key] = d
+		go d.run()
+	}
+	return d
+}
+
+// physRank maps a virtual rank of this group to its physical rank in
+// the fault fabric's index space (identity without a membership map).
+func (g *Group) physRank(v int) int {
+	if g.phys == nil {
+		return v
+	}
+	return g.phys[v]
+}
+
+// attachFaults wires the group into a fault fabric, with phys mapping
+// the group's virtual ranks to the fabric's physical ranks (nil =
+// identity; otherwise len(phys) must equal the group size). Call before
+// any communication.
+func (g *Group) attachFaults(fab *faultFabric, phys []int) {
+	if phys != nil && len(phys) != g.p {
+		panic(fmt.Sprintf("comm: attachFaults got %d physical ranks for %d learners", len(phys), g.p))
+	}
+	g.fab = fab
+	g.phys = phys
+	g.faultRoute = fab != nil && fab.plan.linkFaultsActive()
+	if g.faultRoute {
+		g.daemons = make(map[int]*linkDaemon)
+	}
+}
+
+// InjectFaults activates a fault plan on this standalone group: drops,
+// delays and the acknowledged-delivery protocol per the plan, with the
+// group's ranks as the physical rank space. The injected fault counters
+// appear in Stats().Faults. For crash/eviction-tolerant runs use
+// NewResilient, which shares one fabric across re-formed groups.
+func (g *Group) InjectFaults(plan *FaultPlan) {
+	if plan == nil {
+		return
+	}
+	g.attachFaults(newFaultFabric(g.p, plan, g.tracer), nil)
+}
+
+// Close stops the group's link daemons (no-op without faults). Call
+// only after all collectives have completed; in-flight transfers would
+// be lost.
+func (g *Group) Close() {
+	g.dMu.Lock()
+	defer g.dMu.Unlock()
+	for _, d := range g.daemons {
+		close(d.q)
+	}
+	g.daemons = nil
 }
 
 // Recv blocks until a message from learner `from` arrives at learner
@@ -184,6 +285,9 @@ func (g *Group) Recv(to, from int) []float64 {
 func (g *Group) recvMsg(to, from int) message {
 	g.checkRank(from)
 	g.checkRank(to)
+	if g.faultRoute && from != to {
+		return g.recvReliable(to, from)
+	}
 	var m message
 	if g.traceOn {
 		t0 := time.Now()
@@ -196,6 +300,42 @@ func (g *Group) recvMsg(to, from int) message {
 		g.clocks[to].Sync(m.arrive)
 	}
 	return m
+}
+
+// recvReliable is the receive side of the acknowledged-delivery
+// protocol: consume mailbox messages, discard duplicates left behind by
+// spurious retransmissions (re-acknowledging them so the accounting
+// stays honest), acknowledge the first copy of the expected sequence
+// number on consumption, and return it. The link's dedup cursor is
+// written only by the goroutine currently driving the receiving rank,
+// which under bulk-synchronous collectives is never concurrent with
+// itself — including across group re-formations, whose boundaries are
+// synchronization points.
+func (g *Group) recvReliable(to, from int) message {
+	fab := g.fab
+	li := fab.linkIdx(g.physRank(from), g.physRank(to))
+	for {
+		var m message
+		if g.traceOn {
+			t0 := time.Now()
+			m = <-g.mail[to][from]
+			g.stats[to].mailboxWaitNs.Add(time.Since(t0).Nanoseconds())
+		} else {
+			m = <-g.mail[to][from]
+		}
+		seq := m.seq - 1 // wire stamps are seq+1 so the zero value is never a valid stamp
+		if seq < fab.expect[li] {
+			fab.acks[li] <- seq
+			g.releaseMsg(m)
+			continue
+		}
+		fab.expect[li] = seq + 1
+		fab.acks[li] <- seq
+		if g.clocks != nil {
+			g.clocks[to].Sync(m.arrive)
+		}
+		return m
+	}
 }
 
 func (g *Group) checkRank(r int) {

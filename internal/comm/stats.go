@@ -100,6 +100,27 @@ type AlgoStats struct {
 	Messages int64 // point-to-point messages
 }
 
+// FaultStats are the fault-injection and membership counters of a run.
+// All-zero without an attached FaultPlan. Drops and Retries come from
+// the link daemons (dropped delivery attempts, and ack-timeout
+// retransmissions — Timeouts counts the expiries, which the
+// stop-and-wait protocol maps 1:1 onto retransmissions); Evictions,
+// Reforms and Crashes come from the membership ledger.
+type FaultStats struct {
+	Drops     int64 // injected message-drop events (per delivery attempt)
+	Retries   int64 // retransmissions after an ack timeout
+	Timeouts  int64 // ack-timeout expiries
+	Evictions int64 // ranks evicted by the failure detector
+	Reforms   int64 // survivor group re-formations
+	Crashes   int64 // scheduled learner crashes executed
+}
+
+// Active reports whether any fault or membership event occurred.
+func (f FaultStats) Active() bool {
+	return f.Drops != 0 || f.Retries != 0 || f.Timeouts != 0 ||
+		f.Evictions != 0 || f.Reforms != 0 || f.Crashes != 0
+}
+
 // Stats is a snapshot of the group's communication counters. Safe to
 // take mid-run (atomics only); exact once the learners have quiesced.
 type Stats struct {
@@ -119,6 +140,12 @@ type Stats struct {
 	QueueDwell        time.Duration
 	WorkerBusy        time.Duration
 	PipelineOccupancy float64
+
+	// Faults holds the fault-injection and membership counters (all zero
+	// without an attached FaultPlan). When the membership layer re-forms
+	// groups mid-run, the fabric — and so this block — spans the whole
+	// run regardless of which group's Stats() is asked.
+	Faults FaultStats
 }
 
 // Stats returns the current counter snapshot.
@@ -157,7 +184,39 @@ func (g *Group) Stats() Stats {
 		s.PipelineOccupancy = occSum / float64(occN)
 	}
 	s.Bytes = 8 * s.Words
+	if g.fab != nil {
+		s.Faults = g.fab.faultCounts()
+	}
 	return s
+}
+
+// MergeTraffic folds another snapshot's traffic, wait and pipeline
+// counters into s. The membership layer uses it to aggregate across the
+// groups of a re-formed run; the Faults block is intentionally NOT
+// merged (the fabric is shared, so each group already reports the
+// run-wide counts — adding them would double-count). Occupancy merges
+// as the bucket-op-weighted mean.
+func (s *Stats) MergeTraffic(o Stats) {
+	if s.BucketOps+o.BucketOps > 0 {
+		s.PipelineOccupancy = (s.PipelineOccupancy*float64(s.BucketOps) +
+			o.PipelineOccupancy*float64(o.BucketOps)) / float64(s.BucketOps+o.BucketOps)
+	}
+	s.Words += o.Words
+	s.Messages += o.Messages
+	s.Bytes += o.Bytes
+	for name, as := range o.PerAlgo {
+		if s.PerAlgo == nil {
+			s.PerAlgo = make(map[string]AlgoStats, len(o.PerAlgo))
+		}
+		cur := s.PerAlgo[name]
+		cur.Words += as.Words
+		cur.Messages += as.Messages
+		s.PerAlgo[name] = cur
+	}
+	s.MailboxWait += o.MailboxWait
+	s.BucketOps += o.BucketOps
+	s.QueueDwell += o.QueueDwell
+	s.WorkerBusy += o.WorkerBusy
 }
 
 // WordsSent returns the total number of float64 words sent through the
@@ -216,6 +275,10 @@ func (s Stats) String() string {
 	if s.BucketOps > 0 {
 		out += fmt.Sprintf("bucketed pipeline: %d ops, dwell %v, busy %v, occupancy %.2f\n",
 			s.BucketOps, s.QueueDwell, s.WorkerBusy, s.PipelineOccupancy)
+	}
+	if f := s.Faults; f.Active() {
+		out += fmt.Sprintf("faults: %d drops, %d retries, %d timeouts, %d crashes, %d evictions, %d re-forms\n",
+			f.Drops, f.Retries, f.Timeouts, f.Crashes, f.Evictions, f.Reforms)
 	}
 	return out
 }

@@ -13,6 +13,7 @@ import (
 	"os"
 	"sync"
 
+	"sasgd/internal/comm"
 	"sasgd/internal/data"
 	"sasgd/internal/netsim"
 	"sasgd/internal/nn"
@@ -35,6 +36,23 @@ func DefaultOverlap() bool {
 		defaultOverlap = s == "1" || s == "true"
 	})
 	return defaultOverlap
+}
+
+var (
+	faultOnce        sync.Once
+	defaultFaultSpec string
+)
+
+// DefaultFaultSpec returns the fault-plan spec requested by the
+// SASGD_FAULTS environment variable (comm.ParseFaultPlan grammar, e.g.
+// "seed=1,drop=0.05,slow=2:4,crash=3@10"); empty (the default) leaves
+// fault injection off. Commands consult it when their -faults flag is
+// unset, mirroring the -trace/SASGD_TRACE precedence.
+func DefaultFaultSpec() string {
+	faultOnce.Do(func() {
+		defaultFaultSpec = os.Getenv("SASGD_FAULTS")
+	})
+	return defaultFaultSpec
 }
 
 var (
@@ -189,6 +207,44 @@ type Config struct {
 	// FlopsPerSample is the paper-scale training cost per sample charged
 	// to the simulator (ignored when Sim is nil).
 	FlopsPerSample float64
+
+	// Faults, when non-nil, injects the plan's failures (message drops,
+	// link delays, learner slowdowns, crash schedules) into the run and
+	// routes SASGD through the crash-tolerant path: acknowledged
+	// point-to-point delivery with timeout/retry, heartbeat-based
+	// straggler eviction, survivor re-formation with γp rescaled by
+	// OrigP/live, and fault counters in Result.Comm.Faults. SASGD only —
+	// the other algorithms panic. Overlapped aggregation falls back to
+	// the serial path under faults.
+	Faults *comm.FaultPlan
+
+	// CheckpointPath, when non-empty, makes the run write a training
+	// checkpoint (reference parameters + step counters, see
+	// checkpoint.go) atomically to this path at aggregation boundaries.
+	CheckpointPath string
+	// CheckpointEvery writes the checkpoint every this many aggregation
+	// boundaries (default 1 = every boundary).
+	CheckpointEvery int
+	// ResumeFrom, when non-empty, resumes a run from the named
+	// checkpoint: parameters are restored, γp is taken from the
+	// checkpoint, and each learner's sample stream is fast-forwarded to
+	// the recorded step. The run must match the checkpoint's T, batch
+	// size and seed. SASGD only.
+	ResumeFrom string
+	// ResumeRanks names which of the original run's data-physical ranks
+	// this run's learners play (strictly ascending, one per learner), for
+	// resuming with only the survivors of a crash. Nil means all ranks,
+	// requiring Learners == the checkpoint's OrigP.
+	ResumeRanks []int
+
+	// AggHook, when non-nil, is called by virtual rank 0 synchronously
+	// after each dense aggregation allreduce with the boundary index and
+	// the post-allreduce aggregated gradient (before γp is applied). The
+	// hook must copy the slice if it retains it. Test instrumentation —
+	// the chaos harness uses it to compare aggregated gradients bitwise
+	// across fault-free and degraded runs. Dense aggregation only; the
+	// sparse top-k path does not invoke it.
+	AggHook func(boundary int, gs []float64)
 }
 
 // withDefaults validates cfg and fills defaulted fields.
@@ -236,6 +292,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EvalEvery <= 0 {
 		c.EvalEvery = 1
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
+	if (c.Faults != nil || c.ResumeFrom != "") && c.Algo != AlgoSASGD && c.Algo != "" {
+		panic(fmt.Sprintf("core: fault injection and checkpoint resume support SASGD only, got algo %q", c.Algo))
 	}
 	return c
 }

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"sasgd/internal/comm"
+	"sasgd/internal/data"
+	"sasgd/internal/obs"
+	"sasgd/internal/tensor"
+)
+
+// trainSASGDResilient is Algorithm 1 under failures: the same local
+// loop and aggregation as trainSASGD, but every synchronization point —
+// each aggregation boundary and each epoch barrier — goes through a
+// comm.Resilient membership ledger instead of a bare barrier, so the
+// run survives message drops and delays (acknowledged delivery with
+// retry below), stragglers (real per-batch sleeps plus simulated
+// slowdown; evicted only if they fall behind the failure detector's
+// EvictAfter), and scheduled crashes (the rank goes silent at its
+// boundary, the survivors detect, evict, re-form a smaller group and
+// continue with the aggregation rate rescaled to γp·OrigP/|live| —
+// preserving the per-gradient step size the original γp encoded).
+//
+// The path also owns checkpoint-restart. Two rank spaces keep resume
+// orthogonal to fault handling: run-physical ranks 0..p−1 name this
+// run's goroutines, clocks and fault-plan entries, while data-physical
+// ranks (Config.ResumeRanks, identity when not resuming) name the
+// original run's shards and seed streams. A resumed run therefore
+// replays exactly the sample sequence the original ranks would have
+// consumed — with a survivors-only mapping, exactly what the survivors
+// would have consumed — which is what makes post-eviction aggregated
+// gradients bitwise-comparable between a degraded run and a fault-free
+// resume over the survivors (the chaos harness's core assertion).
+//
+// Trainer-level differences from trainSASGD: overlapped aggregation
+// falls back to the serial path (bucketed sends assume a fixed group),
+// and evaluation/recording is done by the current view's virtual rank 0
+// (which moves if rank 0 crashes).
+func trainSASGDResilient(cfg Config, prob *Problem) *Result {
+	p := cfg.Learners
+	plan := cfg.Faults
+
+	var rs *resumeState
+	if cfg.ResumeFrom != "" {
+		var err error
+		if rs, err = loadResume(cfg); err != nil {
+			panic(err)
+		}
+		// γp belongs to the original run's shape; restore it so rescaling
+		// by OrigP/|live| lands on the same effective rate the original
+		// run's survivors would use.
+		cfg.GammaP = rs.meta.GammaP
+	}
+	origP := p
+	dataRanks := make([]int, p)
+	for i := range dataRanks {
+		dataRanks[i] = i
+	}
+	startStep, startBoundary := 0, 0
+	if rs != nil {
+		origP = rs.meta.OrigP
+		dataRanks = rs.ranks
+		startStep, startBoundary = rs.meta.Step, rs.meta.Boundary
+	}
+
+	// Shards are partitioned by the ORIGINAL learner count so a
+	// survivors-only resume trains on the survivors' own shards, not a
+	// repartition of the whole set.
+	shards := prob.Train.Partition(origP)
+	bpe := batchesPerEpoch(shards, cfg.Batch)
+
+	var clocks []comm.Clock
+	var cost comm.CostModel
+	if cfg.Sim != nil {
+		clocks = cfg.Sim.Clocks()
+		cost = cfg.Sim.CostModel()
+	}
+	res := comm.NewResilient(p, plan, clocks, cost, cfg.Tracer)
+	cfg.Tracer.SetStats(func() interface{} { return res.Stats() })
+	rec := newRecorder(prob)
+	var samples atomic.Int64
+	var finalParams []float64
+
+	runLearners(p, func(runPhys int) {
+		dataPhys := dataRanks[runPhys]
+		net := prob.newReplica(cfg.Seed + int64(dataPhys))
+		m := net.NumParams()
+		params := net.ParamData()
+		grads := net.GradData()
+		tk := cfg.Tracer.Learner(runPhys)
+		net.SetTrack(tk)
+
+		if rs != nil {
+			if len(rs.params) != m {
+				panic(fmt.Sprintf("core: checkpoint has %d parameters, model has %d", len(rs.params), m))
+			}
+			copy(params, rs.params)
+		}
+		view := res.Current()
+		// x ← broadcast(x, p, id); x′ ← x. On resume all replicas already
+		// carry the checkpoint parameters and the broadcast is a no-op in
+		// values; it still runs so the wire schedule matches a cold start.
+		bs := tk.Begin()
+		view.G.BroadcastTree(runPhys, params)
+		tk.End(obs.PhaseBcast, bs)
+		xref := append([]float64(nil), params...)
+		gs := make([]float64, m)
+		var residual []float64
+		if cfg.CompressTopK > 0 {
+			residual = make([]float64, m)
+		}
+
+		sampler := data.NewEpochSampler(shards[dataPhys].Len(), cfg.Batch, cfg.Seed+int64(dataPhys)*31+7)
+		sampler.Skip(startStep)
+		if cfg.Sim != nil {
+			cfg.Sim.SkipBatches(runPhys, startStep)
+			if k := plan.SlowFactor(runPhys); k > 1 {
+				cfg.Sim.SetSlowdown(runPhys, k)
+			}
+		}
+		slowSleep := plan.SlowSleepFor(runPhys)
+		crashAt := plan.CrashBoundary(runPhys)
+
+		var lastLoss float64
+		step := startStep
+		boundary := startBoundary
+		sync := 0
+		startEpoch := startStep / bpe
+		for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
+			b0 := 0
+			if epoch == startEpoch {
+				b0 = startStep % bpe
+			}
+			for b := b0; b < bpe; b++ {
+				idx := sampler.Next()
+				x, y := shards[dataPhys].Batch(idx)
+				lastLoss = net.Step(x, y)
+				// x ← x − γ·g ; gs ← gs + g
+				ls := tk.Begin()
+				tensor.Axpy(-cfg.Gamma, grads, params)
+				tensor.Axpy(1, grads, gs)
+				tk.End(obs.PhaseLocalStep, ls)
+				samples.Add(int64(len(idx)))
+				if cfg.Sim != nil {
+					cfg.Sim.ChargeBatch(runPhys, cfg.FlopsPerSample*float64(len(idx)))
+				}
+				if slowSleep > 0 {
+					time.Sleep(slowSleep)
+				}
+				step++
+				if step%cfg.Interval != 0 {
+					continue
+				}
+				if crashAt >= 0 && boundary == crashAt {
+					// Fail-stop: go silent without posting the boundary's
+					// heartbeat. The peers detect and evict.
+					res.Crash(runPhys)
+					return
+				}
+				v, ok := res.Await(runPhys, sync)
+				sync++
+				if !ok {
+					return // fenced: evicted as a presumed-dead straggler
+				}
+				view = v
+				// γp rescale: the aggregated gs now sums |live| learners'
+				// gradients instead of OrigP, so the per-learner weight γp
+				// is scaled by OrigP/|live| to keep the effective
+				// per-gradient step unchanged.
+				acfg := cfg
+				acfg.GammaP = cfg.GammaP * float64(origP) / float64(view.Size())
+				aggregate(view.G, view.RankOf(runPhys), acfg, boundary, gs, residual, xref, params, tk)
+				boundary++
+				if cfg.CheckpointPath != "" && view.RankOf(runPhys) == 0 && boundary%cfg.CheckpointEvery == 0 {
+					live := make([]int, view.Size())
+					for vr, pr := range view.Phys {
+						live[vr] = dataRanks[pr]
+					}
+					meta := checkpointMeta{
+						OrigP:    origP,
+						Interval: cfg.Interval,
+						Batch:    cfg.Batch,
+						Seed:     cfg.Seed,
+						GammaP:   cfg.GammaP,
+						Step:     step,
+						Boundary: boundary,
+						Live:     live,
+					}
+					if err := writeCheckpoint(checkpointFile(cfg.CheckpointPath, boundary), meta, xref); err != nil {
+						panic(err)
+					}
+				}
+			}
+			// Collective epoch boundary: synchronize, let the current
+			// view's virtual rank 0 record accuracy, synchronize again so
+			// nobody races ahead into the next epoch during evaluation.
+			v, ok := res.Await(runPhys, sync)
+			sync++
+			if !ok {
+				return
+			}
+			view = v
+			if view.RankOf(runPhys) == 0 && (epoch+1)%cfg.EvalEvery == 0 {
+				simNow := 0.0
+				if cfg.Sim != nil {
+					simNow = cfg.Sim.MaxTime()
+				}
+				rec.record(epoch+1, params, lastLoss, simNow)
+			}
+			v, ok = res.Await(runPhys, sync)
+			sync++
+			if !ok {
+				return
+			}
+			view = v
+		}
+		if view.RankOf(runPhys) == 0 {
+			finalParams = append([]float64(nil), params...)
+		}
+	})
+
+	stats := res.Stats()
+	res.Close()
+	simTime, compute, communication := cfg.simSplits()
+	return &Result{
+		Algo:        AlgoSASGD,
+		P:           p,
+		T:           cfg.Interval,
+		Curve:       rec.points(),
+		Samples:     samples.Load(),
+		SimTime:     simTime,
+		SimCompute:  compute,
+		SimComm:     communication,
+		WordsMoved:  stats.Words,
+		Comm:        stats,
+		LiveP:       res.Current().Size(),
+		FinalParams: finalParams,
+	}
+}
+
+// checkpointFile resolves the configured checkpoint path for a
+// boundary: a "%d" verb keeps one file per boundary (the chaos harness
+// resumes from the boundary before a crash), a plain path is
+// overwritten in place (normal operation keeps only the latest).
+func checkpointFile(path string, boundary int) string {
+	if strings.Contains(path, "%d") {
+		return fmt.Sprintf(path, boundary)
+	}
+	return path
+}

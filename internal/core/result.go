@@ -42,9 +42,15 @@ type Result struct {
 	WordsMoved int64
 
 	// Comm is the group's full communication-stats snapshot (traffic per
-	// collective algorithm, mailbox wait, bucketed-pipeline occupancy) for
-	// the collective algorithms; zero value for the server-based ones.
+	// collective algorithm, mailbox wait, bucketed-pipeline occupancy,
+	// fault counters) for the collective algorithms; zero value for the
+	// server-based ones.
 	Comm comm.Stats
+
+	// LiveP is the number of learners still live when the run finished:
+	// P minus crashes and evictions. Equal to P except on the
+	// crash-tolerant path.
+	LiveP int
 
 	// FinalParams is learner 0's parameter vector when it finished its
 	// run (the parameters the final accuracies were evaluated at for the

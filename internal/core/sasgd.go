@@ -98,6 +98,9 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 					ws := tk.Begin()
 					ov.wait()
 					tk.End(obs.PhaseAggWait, ws)
+					if cfg.AggHook != nil && rank == 0 {
+						cfg.AggHook((step+1)/cfg.Interval-1, gs)
+					}
 					// The serial path's local update x ← x − γ·g on this
 					// batch is overwritten by x ← x′ below, so it is
 					// skipped. x′ ← x′ − γp·gs ; x ← x′ ; gs ← 0.
@@ -122,7 +125,7 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 				}
 				step++
 				if step%cfg.Interval == 0 {
-					aggregate(group, rank, cfg, gs, residual, xref, params, tk)
+					aggregate(group, rank, cfg, step/cfg.Interval-1, gs, residual, xref, params, tk)
 				}
 			}
 			// Collective epoch boundary: synchronize and let learner 0
@@ -168,7 +171,7 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 // On the serial path the blocking collective is recorded as the agg_wait
 // span and the γp application as agg_apply, mirroring the overlapped
 // path's spans so profiles compare like with like.
-func aggregate(group *comm.Group, rank int, cfg Config, gs, residual, xref, params []float64, tk *obs.Track) {
+func aggregate(group *comm.Group, rank int, cfg Config, boundary int, gs, residual, xref, params []float64, tk *obs.Track) {
 	k := len(gs)
 	if cfg.CompressTopK > 0 && cfg.CompressTopK < 1 {
 		k = int(cfg.CompressTopK * float64(len(gs)))
@@ -218,6 +221,9 @@ func aggregate(group *comm.Group, rank int, cfg Config, gs, residual, xref, para
 		group.AllreduceTree(rank, gs)
 	}
 	tk.End(obs.PhaseAggWait, ws)
+	if cfg.AggHook != nil && rank == 0 {
+		cfg.AggHook(boundary, gs)
+	}
 	// x′ ← x′ − γp·gs ; x ← x′ ; gs ← 0
 	as := tk.Begin()
 	tensor.Axpy(-cfg.GammaP, gs, xref)

@@ -30,7 +30,13 @@ func Train(cfg Config, prob *Problem) *Result {
 	case AlgoSGD:
 		res = trainSGD(cfg, prob)
 	case AlgoSASGD:
-		res = trainSASGD(cfg, prob)
+		// Fault injection, crash tolerance and checkpoint-restart live on
+		// their own path: same algorithm, membership-aware sync points.
+		if cfg.Faults != nil || cfg.ResumeFrom != "" || cfg.CheckpointPath != "" {
+			res = trainSASGDResilient(cfg, prob)
+		} else {
+			res = trainSASGD(cfg, prob)
+		}
 	case AlgoDownpour:
 		res = trainDownpour(cfg, prob)
 	case AlgoEAMSGD:
@@ -41,6 +47,9 @@ func Train(cfg Config, prob *Problem) *Result {
 		panic(fmt.Sprintf("core: unknown algorithm %q", cfg.Algo))
 	}
 	res.Wall = time.Since(start)
+	if res.LiveP == 0 {
+		res.LiveP = res.P
+	}
 	if len(res.Curve) > 0 {
 		last := res.Curve[len(res.Curve)-1]
 		res.FinalTrain, res.FinalTest = last.Train, last.Test

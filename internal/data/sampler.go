@@ -55,6 +55,17 @@ func (s *EpochSampler) Next() []int {
 	return out
 }
 
+// Skip advances the sampler past n minibatches without returning them,
+// replaying reshuffles exactly as Next would. Checkpoint resume uses it
+// to fast-forward a learner's sample stream to the recorded step so a
+// restarted run consumes the identical batch sequence a never-
+// interrupted run would have.
+func (s *EpochSampler) Skip(n int) {
+	for i := 0; i < n; i++ {
+		s.Next()
+	}
+}
+
 // UniformSampler yields minibatches drawn uniformly with replacement —
 // the i.i.d. sampling the convergence analyses assume. Provided for the
 // theory-validation experiments; the figure reproductions use

@@ -105,9 +105,10 @@ func DefaultConfig() Config {
 // Sim owns the simulated clocks for a group of learners plus the cost
 // model they are charged against.
 type Sim struct {
-	cfg    Config
-	clocks []*Clock
-	rng    []*rand.Rand
+	cfg      Config
+	clocks   []*Clock
+	rng      []*rand.Rand
+	slowdown []float64 // per-rank compute multiplier; 0 or 1 = nominal
 }
 
 // New returns a simulation for p learners.
@@ -162,9 +163,37 @@ func (s *Sim) BatchSpan(rank int, flops float64) (start, dt float64) {
 	if j := s.cfg.ComputeJitter; j > 0 {
 		dt *= 1 + (s.rng[rank].Float64()*2-1)*j
 	}
+	if s.slowdown != nil && s.slowdown[rank] > 1 {
+		dt *= s.slowdown[rank]
+	}
 	start = s.clocks[rank].Now()
 	s.clocks[rank].Advance(dt)
 	return start, dt
+}
+
+// SetSlowdown marks learner rank as a straggler: every subsequent
+// minibatch's simulated compute time is multiplied by factor (values
+// ≤ 1 restore nominal speed). The fault-injection layer uses this to
+// make a FaultPlan's slow=R:K clause show up in simulated epoch times
+// as well as in real scheduling.
+func (s *Sim) SetSlowdown(rank int, factor float64) {
+	if s.slowdown == nil {
+		s.slowdown = make([]float64, len(s.clocks))
+	}
+	s.slowdown[rank] = factor
+}
+
+// SkipBatches replays n minibatches' worth of straggler-jitter draws for
+// learner rank without charging its clock. Checkpoint resume uses it so
+// a restarted run's remaining batches see the same jitter stream a
+// never-interrupted run would have — simulated times stay comparable.
+func (s *Sim) SkipBatches(rank, n int) {
+	if s.cfg.ComputeJitter <= 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		s.rng[rank].Float64()
+	}
 }
 
 // MaxTime returns the latest simulated time across all learners.

@@ -20,9 +20,12 @@ const (
 	checkpointVersion = 1
 )
 
-// Save writes the network's parameters to w in the checkpoint format.
-func (n *Network) Save(w io.Writer) error {
-	header := []uint32{checkpointMagic, checkpointVersion, uint32(len(n.flatP))}
+// WriteParams writes a flat parameter vector to w in the checkpoint
+// format. Exposed as a package function so core's training-state
+// checkpoints can embed parameter frames (and arbitrary float64 state
+// vectors) with the same framing, versioning and integrity check.
+func WriteParams(w io.Writer, params []float64) error {
+	header := []uint32{checkpointMagic, checkpointVersion, uint32(len(params))}
 	for _, h := range header {
 		if err := binary.Write(w, binary.LittleEndian, h); err != nil {
 			return fmt.Errorf("nn: writing checkpoint header: %w", err)
@@ -30,7 +33,7 @@ func (n *Network) Save(w io.Writer) error {
 	}
 	crc := crc32.NewIEEE()
 	buf := make([]byte, 8)
-	for _, v := range n.flatP {
+	for _, v := range params {
 		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
 		if _, err := w.Write(buf); err != nil {
 			return fmt.Errorf("nn: writing checkpoint parameters: %w", err)
@@ -43,40 +46,55 @@ func (n *Network) Save(w io.Writer) error {
 	return nil
 }
 
-// Load restores parameters previously written by Save. The checkpoint's
-// parameter count must match this network's architecture exactly.
-func (n *Network) Load(r io.Reader) error {
+// ReadParams reads one parameter frame previously written by
+// WriteParams, verifying magic, version and checksum.
+func ReadParams(r io.Reader) ([]float64, error) {
 	var magic, version, count uint32
 	for _, dst := range []*uint32{&magic, &version, &count} {
 		if err := binary.Read(r, binary.LittleEndian, dst); err != nil {
-			return fmt.Errorf("nn: reading checkpoint header: %w", err)
+			return nil, fmt.Errorf("nn: reading checkpoint header: %w", err)
 		}
 	}
 	if magic != checkpointMagic {
-		return fmt.Errorf("nn: not a checkpoint (magic %#x)", magic)
+		return nil, fmt.Errorf("nn: not a checkpoint (magic %#x)", magic)
 	}
 	if version != checkpointVersion {
-		return fmt.Errorf("nn: unsupported checkpoint version %d", version)
-	}
-	if int(count) != len(n.flatP) {
-		return fmt.Errorf("nn: checkpoint has %d parameters, network has %d", count, len(n.flatP))
+		return nil, fmt.Errorf("nn: unsupported checkpoint version %d", version)
 	}
 	crc := crc32.NewIEEE()
 	buf := make([]byte, 8)
 	tmp := make([]float64, count)
 	for i := range tmp {
 		if _, err := io.ReadFull(r, buf); err != nil {
-			return fmt.Errorf("nn: reading checkpoint parameters: %w", err)
+			return nil, fmt.Errorf("nn: reading checkpoint parameters: %w", err)
 		}
 		crc.Write(buf)
 		tmp[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
 	}
 	var sum uint32
 	if err := binary.Read(r, binary.LittleEndian, &sum); err != nil {
-		return fmt.Errorf("nn: reading checkpoint checksum: %w", err)
+		return nil, fmt.Errorf("nn: reading checkpoint checksum: %w", err)
 	}
 	if sum != crc.Sum32() {
-		return fmt.Errorf("nn: checkpoint checksum mismatch")
+		return nil, fmt.Errorf("nn: checkpoint checksum mismatch")
+	}
+	return tmp, nil
+}
+
+// Save writes the network's parameters to w in the checkpoint format.
+func (n *Network) Save(w io.Writer) error {
+	return WriteParams(w, n.flatP)
+}
+
+// Load restores parameters previously written by Save. The checkpoint's
+// parameter count must match this network's architecture exactly.
+func (n *Network) Load(r io.Reader) error {
+	tmp, err := ReadParams(r)
+	if err != nil {
+		return err
+	}
+	if len(tmp) != len(n.flatP) {
+		return fmt.Errorf("nn: checkpoint has %d parameters, network has %d", len(tmp), len(n.flatP))
 	}
 	copy(n.flatP, tmp)
 	return nil

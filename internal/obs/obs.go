@@ -51,12 +51,19 @@ const (
 	PhaseQueueDwell               // comm worker: bucket wait in the FIFO queue
 	PhaseAllreduce                // comm worker: bucket collective execution
 	PhaseBcast                    // initial parameter broadcast
+	PhaseRetry                    // fault fabric: ack-timeout window that forced a retransmission
+	PhaseDrop                     // fault fabric: an injected message drop
+	PhaseHeartbeat                // membership: a rank's wait at a sync point
+	PhaseEvict                    // membership: a dead rank's eviction
+	PhaseReform                   // membership: survivor group re-formation
+	PhaseCrash                    // membership: a scheduled learner crash
 	NumPhases                     // number of phases (array sizing)
 )
 
 var phaseNames = [NumPhases]string{
 	"forward", "backward", "local_step", "bucket_begin",
 	"agg_wait", "agg_apply", "queue_dwell", "allreduce", "bcast",
+	"retry", "drop", "heartbeat", "evict", "reform", "crash",
 }
 
 // String returns the phase's snake_case name (also the span name in the
@@ -245,21 +252,46 @@ func (tr *Tracer) now() int64 {
 const (
 	pidLearner = 1
 	pidComm    = 2
+	pidFabric  = 3
 )
 
 // NewTrack registers a new track under the given process group name and
 // thread name/ids. Nil-safe: returns nil (the disabled track) on a nil
 // tracer, so call sites wire tracks unconditionally.
 func (tr *Tracer) NewTrack(process, name string, pid, tid int) *Track {
+	return tr.NewSizedTrack(process, name, pid, tid, 0)
+}
+
+// NewSizedTrack is NewTrack with an explicit ring capacity in spans
+// (≤ 0 selects the tracer's default). Short-lived or sparse event
+// sources — the fault fabric's per-link retry tracks — use small rings
+// so a faulty run with many links does not multiply the tracer's
+// footprint by the default 16k-span capacity.
+func (tr *Tracer) NewSizedTrack(process, name string, pid, tid, spans int) *Track {
 	if tr == nil {
 		return nil
 	}
+	if spans <= 0 {
+		spans = tr.trackCap
+	}
 	t := &Track{tr: tr, process: process, name: name, pid: pid, tid: tid,
-		spans: make([]span, tr.trackCap)}
+		spans: make([]span, spans)}
 	tr.mu.Lock()
 	tr.tracks = append(tr.tracks, t)
 	tr.mu.Unlock()
 	return t
+}
+
+// FabricTrack returns a new small track on the fault-fabric process
+// group — retry/drop events of one link daemon, or the membership
+// ledger's eviction/re-form events (nil on a nil tracer). Each fabric
+// track has a single writer: the link's daemon goroutine, or — for the
+// membership track — whichever goroutine holds the ledger mutex.
+func (tr *Tracer) FabricTrack(name string, tid int) *Track {
+	if tr == nil {
+		return nil
+	}
+	return tr.NewSizedTrack("fabric", name, pidFabric, tid, 1024)
 }
 
 // Learner returns a new track on the learner process group for the

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Regenerates BENCH_FAULTS.json: the graceful-degradation figures for
+# SASGD p=8 T=8 on the simulated CIFAR-10 platform — fault-free
+# baseline vs one learner slowed 4× vs one learner crashing at the
+# second aggregation boundary (detected, evicted, survivors re-form
+# with γp rescaled and finish on 7 ranks). Simulated epoch seconds,
+# final test accuracy, live learner count and fault counters per row.
+#
+#   scripts/bench_faults.sh             # default epoch budget
+#   EPOCHS=4 scripts/bench_faults.sh    # longer runs
+set -eu
+cd "$(dirname "$0")/.."
+
+out="BENCH_FAULTS.json"
+dir="$(mktemp -d)"
+trap 'rm -rf "$dir"' EXIT
+
+go run ./cmd/experiments -only faults -epochs "${EPOCHS:-0}" -json "$dir"
+
+{
+    printf '{\n'
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%d)"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "gomaxprocs": %s,\n' "$(nproc)"
+    printf '  "note": "Simulated (netsim) epoch seconds, so rows are machine-independent and comparable: the straggler stretches every epoch by roughly its slowdown (bulk-synchronous barriers wait for the slowest rank) while the crash costs one eviction timeout and then runs faster per epoch than the straggler run — degradation tracks the slowest survivor, not the membership size. FinalTest for the crash row differs slightly from the baseline because the survivors train on 7 shards with gamma_p rescaled by 8/7.",\n'
+    printf '  "result": '
+    sed 's/^/  /' "$dir/faults.json" | sed '1s/^ *//'
+    printf '\n}\n'
+} > "$out"
+echo "wrote $out"

@@ -40,6 +40,19 @@ go test -race -count=2 -run 'Overlap' ./internal/core/
 echo "==> go test -race -count=2 obs concurrent tracing"
 go test -race -count=2 -run 'Concurrent' ./internal/obs/
 
+# The chaos suite is the failure-handling gate: seeded fault plans
+# (stragglers, drops, crashes at scheduled boundaries) with bitwise
+# survivor-equivalence assertions. Membership changes move virtual rank
+# 0 across goroutines, so run it twice under the race detector.
+echo "==> go test -race -count=2 chaos suite"
+go test -race -count=2 ./internal/chaos/
+
+# Native fuzzing smoke legs: a short randomized walk over the allreduce
+# equivalence and bucket-plan invariants beyond the checked-in corpus.
+echo "==> go fuzz smoke (10s per target)"
+go test -fuzz 'FuzzAllreduceEquivalence' -fuzztime 10s -run 'Fuzz' ./internal/comm/
+go test -fuzz 'FuzzPlanBuckets' -fuzztime 10s -run 'Fuzz' ./internal/core/
+
 # Steady-state allocation pins (the race detector's instrumentation
 # allocates, so these only check out in a plain build): bucketed
 # allreduce rounds must stay zero-alloc on the pooled buffers, and the
