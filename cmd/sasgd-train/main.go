@@ -41,6 +41,7 @@ func main() {
 	momentum := flag.Float64("momentum", 0, "EAMSGD local momentum (0 = default, negative = none)")
 	topk := flag.Float64("topk", 0, "SASGD top-k compression fraction in (0,1); 0 = dense aggregation")
 	workers := flag.Int("workers", 0, "per-learner kernel workers (0 = split SASGD_WORKERS/GOMAXPROCS across learners)")
+	fastKernels := flag.Bool("fast-kernels", false, "use reordered-summation tensor kernels: faster dot products, value-equal to the default kernels within 1e-12 but not bit-identical (default also via SASGD_FAST_KERNELS=1)")
 	sim := flag.Bool("sim", false, "attach the fabric simulator and report simulated epoch time")
 	vtime := flag.Bool("vtime", false, "deterministic virtual-time scheduling for the asynchronous algorithms")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file (default also via SASGD_TRACE=1 or SASGD_TRACE=path; load in ui.perfetto.dev)")
@@ -90,6 +91,7 @@ func main() {
 		CompressTopK: *topk,
 		VirtualTime:  *vtime,
 		Workers:      *workers,
+		FastKernels:  *fastKernels,
 	}
 	if *gamma > 0 {
 		cfg.Gamma = *gamma

@@ -39,6 +39,24 @@ func DefaultOverlap() bool {
 }
 
 var (
+	fastKernelsOnce    sync.Once
+	defaultFastKernels bool
+)
+
+// DefaultFastKernels reports whether the SASGD_FAST_KERNELS environment
+// variable requests the reordered-summation fast kernels by default ("1"
+// or "true"; anything else, including unset, leaves the
+// Config.FastKernels zero value in charge). Mirrors the SASGD_OVERLAP
+// pattern so the experiment drivers pick the knob up without plumbing.
+func DefaultFastKernels() bool {
+	fastKernelsOnce.Do(func() {
+		s := os.Getenv("SASGD_FAST_KERNELS")
+		defaultFastKernels = s == "1" || s == "true"
+	})
+	return defaultFastKernels
+}
+
+var (
 	faultOnce        sync.Once
 	defaultFaultSpec string
 )
@@ -186,6 +204,16 @@ type Config struct {
 	// this setting affects wall-clock time only, never results.
 	Workers int
 
+	// FastKernels selects the reordered-summation tensor kernels
+	// (four-accumulator dot products) for the duration of the run. They
+	// are value-equal to the default kernels within ≤1e-12 relative
+	// tolerance but not bitwise identical to them, so runs flip this only
+	// when throughput matters more than bit-stability against the
+	// default-path reference results. Either setting is itself bitwise
+	// reproducible across worker counts. The SASGD_FAST_KERNELS
+	// environment variable ("1"/"true") turns it on by default.
+	FastKernels bool
+
 	// EvalEvery records accuracy every this many collective epochs
 	// (default 1). Evaluation itself is never charged to simulated time.
 	EvalEvery int
@@ -289,6 +317,9 @@ func (c Config) withDefaults() Config {
 	}
 	if !c.OverlapComm && DefaultOverlap() {
 		c.OverlapComm = true
+	}
+	if !c.FastKernels && DefaultFastKernels() {
+		c.FastKernels = true
 	}
 	if c.EvalEvery <= 0 {
 		c.EvalEvery = 1

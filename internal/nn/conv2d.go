@@ -11,8 +11,11 @@ import (
 
 // Conv2D is a 2-D convolution over (N, C, H, W) inputs, implemented by
 // im2col lowering followed by a matrix multiplication, the same strategy
-// Torch's SpatialConvolutionMM (the paper's substrate) uses. The weight
-// tensor has shape (K, C, KH, KW) and the bias shape (K).
+// Torch's SpatialConvolutionMM (the paper's substrate) uses — except the
+// forward pass fuses the lowering into the packed GEMM (the kernel packs
+// its B panels straight from the image), so the column matrix is only
+// ever materialized by Backward. The weight tensor has shape
+// (K, C, KH, KW) and the bias shape (K).
 //
 // Both passes are batch-parallel: samples are sharded across the worker
 // pool (each shard using the serial slice kernels on disjoint slices of
@@ -29,8 +32,10 @@ type Conv2D struct {
 	// retained between Forward and Backward
 	x *tensor.Tensor
 	// cols holds one im2col column matrix (kr × OH·OW, flattened) per
-	// sample. The backing buffers are grown once and reused across
-	// batches, so steady-state Forward does no per-sample allocation.
+	// sample, recomputed by Backward for the weight-gradient reduction
+	// (the fused forward never materializes it). The backing buffers are
+	// grown once and reused across batches, so steady-state passes do no
+	// per-sample allocation.
 	cols [][]float64
 }
 
@@ -129,6 +134,21 @@ func sampleGrain(flopsPerSample int) int {
 
 // Forward implements Layer.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return c.forward(x, tensor.ActNone)
+}
+
+// ForwardFused implements fusable: Forward with the following activation
+// layer folded into the GEMM epilogue. Bitwise identical to Forward
+// followed by the activation.
+func (c *Conv2D) ForwardFused(x *tensor.Tensor, train bool, act tensor.EpilogueAct) *tensor.Tensor {
+	return c.forward(x, act)
+}
+
+// forward runs the fused im2col-GEMM convolution: the fused kernels pack
+// B panels straight out of the input image, so the column matrices are
+// never materialized on the forward path (Backward recomputes the ones
+// it needs). Bias and activation ride along in the GEMM epilogue.
+func (c *Conv2D) forward(x *tensor.Tensor, act tensor.EpilogueAct) *tensor.Tensor {
 	if x.Dims() != 4 || x.Dim(1) != c.InC {
 		panic(fmt.Sprintf("nn: %s forward input shape %v", c.Name(), x.Shape()))
 	}
@@ -138,7 +158,6 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	p := oh * ow
 	out := tensor.New(n, c.OutC, oh, ow)
 	c.x = x
-	c.ensureCols(n, kr*p)
 	wm := c.w.Value.Data
 	bias := c.b.Value.Data
 	perSample := c.InC * h * w
@@ -146,40 +165,24 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 	if n < parallel.Workers() {
 		// Too few samples to occupy the pool: run samples in order and let
-		// the row-parallel tensor kernels split the per-sample GEMM. The
-		// kernels are bitwise identical to their serial forms, so both
-		// branches produce the same output.
-		wmat := c.w.Value.Reshape(c.OutC, kr)
+		// the column-parallel fused kernel split each per-sample GEMM over
+		// output pixels. Column shards never change any element's
+		// accumulation order, so both branches produce bitwise identical
+		// output.
 		for i := 0; i < n; i++ {
-			img := tensor.FromSlice(x.Data[i*perSample:(i+1)*perSample], c.InC, h, w)
-			colsT := tensor.FromSlice(c.cols[i], kr, p)
-			tensor.Im2Col(colsT, img, c.Geom)
-			dst := tensor.FromSlice(out.Data[i*outPer:(i+1)*outPer], c.OutC, p)
-			tensor.MatMul(dst, wmat, colsT)
-			addBiasRows(out.Data[i*outPer:(i+1)*outPer], bias, p)
+			tensor.ConvGemmBiasAct(out.Data[i*outPer:(i+1)*outPer], wm,
+				x.Data[i*perSample:(i+1)*perSample], c.InC, h, w, c.Geom, c.OutC, bias, act)
 		}
 		return out
 	}
 
 	parallel.For(n, sampleGrain(c.OutC*p*kr), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			tensor.Im2ColInto(c.cols[i], x.Data[i*perSample:(i+1)*perSample], c.InC, h, w, c.Geom)
-			dst := out.Data[i*outPer : (i+1)*outPer]
-			tensor.MatMulInto(dst, wm, c.cols[i], c.OutC, kr, p)
-			addBiasRows(dst, bias, p)
+			tensor.ConvGemmBiasActInto(out.Data[i*outPer:(i+1)*outPer], wm,
+				x.Data[i*perSample:(i+1)*perSample], c.InC, h, w, c.Geom, c.OutC, bias, act)
 		}
 	})
 	return out
-}
-
-// addBiasRows adds bias[k] to the k-th row of a (K × p) output block.
-func addBiasRows(dst, bias []float64, p int) {
-	for k, bv := range bias {
-		row := dst[k*p : (k+1)*p]
-		for j := range row {
-			row[j] += bv
-		}
-	}
 }
 
 // Backward implements Layer.
@@ -204,15 +207,20 @@ func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	c.w.Grad.Zero()
 	c.b.Grad.Zero()
 	gradIn := tensor.New(n, c.InC, h, w)
+	c.ensureCols(n, kr*p)
 
 	// Input gradients: per-sample dcols = Wᵀ·gout scattered back through
 	// col2im. Samples are independent, so shard the batch; each shard
-	// reuses one pooled column-gradient buffer for all its samples.
+	// reuses one pooled column-gradient buffer for all its samples. The
+	// same pass recomputes each sample's im2col column matrix (the fused
+	// forward never materializes it) for the weight-gradient reduction
+	// below.
 	if n < parallel.Workers() {
 		wmat := c.w.Value.Reshape(c.OutC, kr)
 		cg := getColBuf(kr * p)
 		colGrad := tensor.FromSlice(cg, kr, p)
 		for i := 0; i < n; i++ {
+			tensor.Im2ColInto(c.cols[i], x.Data[i*perSample:(i+1)*perSample], c.InC, h, w, c.Geom)
 			gout := tensor.FromSlice(gradOut.Data[i*outPer:(i+1)*outPer], c.OutC, p)
 			tensor.MatMulTransA(colGrad, wmat, gout)
 			gin := tensor.FromSlice(gradIn.Data[i*perSample:(i+1)*perSample], c.InC, h, w)
@@ -223,6 +231,7 @@ func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		parallel.For(n, sampleGrain(c.OutC*p*kr), func(lo, hi int) {
 			cg := getColBuf(kr * p)
 			for i := lo; i < hi; i++ {
+				tensor.Im2ColInto(c.cols[i], x.Data[i*perSample:(i+1)*perSample], c.InC, h, w, c.Geom)
 				tensor.MatMulTransAInto(cg, wm, gradOut.Data[i*outPer:(i+1)*outPer], c.OutC, kr, p)
 				tensor.Col2ImInto(gradIn.Data[i*perSample:(i+1)*perSample], cg, c.InC, h, w, c.Geom)
 			}
@@ -248,12 +257,7 @@ func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 				db[r] += s
 				dwr := dw[r*kr : (r+1)*kr]
 				for ci := 0; ci < kr; ci++ {
-					col := cols[ci*p : (ci+1)*p]
-					d := 0.0
-					for j, g := range gr {
-						d += g * col[j]
-					}
-					dwr[ci] += d
+					dwr[ci] += tensor.Dot(gr, cols[ci*p:(ci+1)*p])
 				}
 			}
 		}

@@ -32,11 +32,17 @@ func (*Sigmoid) OutShape(in []int) []int { return in }
 func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	out := tensor.New(x.Shape()...)
 	for i, v := range x.Data {
-		out.Data[i] = 1 / (1 + expFloat(-v))
+		out.Data[i] = tensor.ScalarSigmoid(v)
 	}
 	s.out = append(s.out[:0], out.Data...)
 	return out
 }
+
+func (*Sigmoid) fuseKind() tensor.EpilogueAct { return tensor.ActSigmoid }
+
+// adopt retains a fused forward's output for the y(1-y) backward term,
+// the same state Forward saves.
+func (s *Sigmoid) adopt(out *tensor.Tensor) { s.out = append(s.out[:0], out.Data...) }
 
 // Backward implements Layer.
 func (s *Sigmoid) Backward(gradOut *tensor.Tensor) *tensor.Tensor {

@@ -50,20 +50,26 @@ func (l *Linear) OutShape(in []int) []int {
 
 // Forward implements Layer.
 func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return l.forward(x, tensor.ActNone)
+}
+
+// ForwardFused implements fusable: Forward with the following activation
+// layer folded into the GEMM epilogue. Bitwise identical to Forward
+// followed by the activation.
+func (l *Linear) ForwardFused(x *tensor.Tensor, train bool, act tensor.EpilogueAct) *tensor.Tensor {
+	return l.forward(x, act)
+}
+
+// forward computes y = x·Wᵀ + b with bias and activation applied in the
+// GEMM epilogue while output rows are cache-hot.
+func (l *Linear) forward(x *tensor.Tensor, act tensor.EpilogueAct) *tensor.Tensor {
 	if x.Dims() != 2 || x.Dim(1) != l.In {
 		panic(fmt.Sprintf("nn: %s forward input shape %v", l.Name(), x.Shape()))
 	}
 	l.x = x
 	n := x.Dim(0)
 	out := tensor.New(n, l.Out)
-	// y = x (n×in) · Wᵀ (in×out)
-	tensor.MatMulTransB(out, x, l.w.Value)
-	for i := 0; i < n; i++ {
-		row := out.Data[i*l.Out : (i+1)*l.Out]
-		for j, bv := range l.b.Value.Data {
-			row[j] += bv
-		}
-	}
+	tensor.LinearForward(out, x, l.w.Value, l.b.Value.Data, act)
 	return out
 }
 

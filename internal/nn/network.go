@@ -133,9 +133,23 @@ func (n *Network) ParamSegments() []ParamSegment {
 }
 
 // Forward runs the full stack on a minibatch and returns the logits.
+// A GEMM-backed layer directly followed by an activation layer runs as
+// one fused call: the activation is applied in the GEMM epilogue and the
+// activation layer adopts the fused output to rebuild its backward
+// state, so Backward and the layer list are oblivious to the fusion.
+// Fused and unfused execution are bitwise identical.
 func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	out := x
-	for _, l := range n.layers {
+	for i := 0; i < len(n.layers); i++ {
+		l := n.layers[i]
+		if f, ok := l.(fusable); ok && i+1 < len(n.layers) {
+			if a, ok := n.layers[i+1].(epilogueAct); ok {
+				out = f.ForwardFused(out, train, a.fuseKind())
+				a.adopt(out)
+				i++
+				continue
+			}
+		}
 		out = l.Forward(out, train)
 	}
 	return out

@@ -69,6 +69,24 @@ type Layer interface {
 	OutShape(in []int) []int
 }
 
+// fusable is implemented by layers (Conv2D, Linear) whose forward pass
+// can fold a directly-following activation layer into its GEMM epilogue,
+// applying the activation while output tiles are still cache-hot.
+// ForwardFused must be bitwise identical to Forward followed by the
+// activation's Forward.
+type fusable interface {
+	ForwardFused(x *tensor.Tensor, train bool, act tensor.EpilogueAct) *tensor.Tensor
+}
+
+// epilogueAct is implemented by activation layers that can ride in a
+// fusable layer's epilogue: fuseKind names the activation for the tensor
+// kernels, and adopt rebuilds the layer's backward state from the fused
+// output (which the activation's own Forward never saw).
+type epilogueAct interface {
+	fuseKind() tensor.EpilogueAct
+	adopt(out *tensor.Tensor)
+}
+
 // ReLU is the rectified-linear activation max(0, x).
 type ReLU struct {
 	mask []bool
@@ -105,6 +123,24 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 	})
 	return out
+}
+
+func (*ReLU) fuseKind() tensor.EpilogueAct { return tensor.ActReLU }
+
+// adopt rebuilds the backward mask from a fused forward's output: the
+// epilogue's max(0, x) is positive exactly where x was, so the mask read
+// off the output equals the mask Forward would have built from the input.
+func (r *ReLU) adopt(out *tensor.Tensor) {
+	if cap(r.mask) < len(out.Data) {
+		r.mask = make([]bool, len(out.Data))
+	}
+	r.mask = r.mask[:len(out.Data)]
+	src, mask := out.Data, r.mask
+	parallel.For(len(src), reluGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mask[i] = src[i] > 0
+		}
+	})
 }
 
 // Backward implements Layer.
@@ -154,6 +190,12 @@ func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return out
 }
 
+func (*Tanh) fuseKind() tensor.EpilogueAct { return tensor.ActTanh }
+
+// adopt retains a fused forward's output for the y² backward term, the
+// same state Forward saves.
+func (t *Tanh) adopt(out *tensor.Tensor) { t.out = append(t.out[:0], out.Data...) }
+
 // Backward implements Layer.
 func (t *Tanh) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if len(gradOut.Data) != len(t.out) {
@@ -171,22 +213,11 @@ func (t *Tanh) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 }
 
 func tanh(v float64) float64 {
-	// math.Tanh is accurate but comparatively slow; training spends a
-	// measurable fraction of time here for the Table-II network, so use a
-	// clamped exponential formulation.
-	if v > 20 {
-		return 1
-	}
-	if v < -20 {
-		return -1
-	}
-	e := exp2x(v)
-	return (e - 1) / (e + 1)
-}
-
-func exp2x(v float64) float64 {
-	// exp(2v) via the standard library; kept separate so tests can probe it.
-	return expFloat(2 * v)
+	// The clamped exponential formulation lives in the tensor package so
+	// the fused GEMM epilogue computes the exact same bits; math.Tanh is
+	// accurate but comparatively slow, and training spends a measurable
+	// fraction of time here for the Table-II network.
+	return tensor.ScalarTanh(v)
 }
 
 // Flatten reshapes (N, ...) to (N, prod(...)); it is a pure view change

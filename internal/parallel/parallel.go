@@ -170,6 +170,38 @@ func Shards(n, grain int) int {
 	return shards
 }
 
+// ForAligned is For with shard boundaries constrained to multiples of
+// align (except hi of the last shard, which is n): it shards the
+// ⌈n/align⌉ aligned blocks instead of the raw indices, so fn always
+// receives [lo, hi) with lo ≡ 0 (mod align). Tiled kernels use it to
+// hand every shard whole microkernel tiles — tile ownership is then
+// per-shard, with no partial tiles shared across goroutines. grain is
+// still expressed in items; it is rounded up to whole blocks.
+func ForAligned(n, align, grain int, fn func(lo, hi int)) {
+	if align < 1 {
+		align = 1
+	}
+	blocks := (n + align - 1) / align
+	bGrain := (grain + align - 1) / align
+	For(blocks, bGrain, func(blo, bhi int) {
+		lo, hi := blo*align, bhi*align
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
+// ShardsAligned returns the shard count a ForAligned call with these
+// parameters would use — the aligned analogue of Shards, for the same
+// serial-branch purpose.
+func ShardsAligned(n, align, grain int) int {
+	if align < 1 {
+		align = 1
+	}
+	return Shards((n+align-1)/align, (grain+align-1)/align)
+}
+
 // ForShards is For with the shard index exposed, so callers can maintain
 // per-shard scratch buffers. The shard count (its return value) is a pure
 // function of (n, grain, Workers()), making scratch reuse across repeated

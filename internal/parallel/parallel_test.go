@@ -163,3 +163,55 @@ func TestConcurrentForCallers(t *testing.T) {
 		t.Fatal(msg)
 	}
 }
+
+func TestForAlignedBoundariesAndCoverage(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 7, 8} {
+		func() {
+			defer SetWorkers(SetWorkers(w))
+			for _, tc := range []struct{ n, align, grain int }{
+				{1, 2, 1}, {2, 2, 1}, {7, 2, 1}, {64, 2, 8},
+				{65, 2, 8}, {100, 4, 4}, {101, 4, 12}, {5, 8, 1},
+			} {
+				var mu sync.Mutex
+				seen := make([]int, tc.n)
+				shards := 0
+				ForAligned(tc.n, tc.align, tc.grain, func(lo, hi int) {
+					if lo%tc.align != 0 {
+						t.Errorf("w=%d n=%d align=%d: shard lo=%d not aligned", w, tc.n, tc.align, lo)
+					}
+					if hi != tc.n && hi%tc.align != 0 {
+						t.Errorf("w=%d n=%d align=%d: shard hi=%d not aligned", w, tc.n, tc.align, hi)
+					}
+					mu.Lock()
+					shards++
+					for i := lo; i < hi; i++ {
+						seen[i]++
+					}
+					mu.Unlock()
+				})
+				for i, c := range seen {
+					if c != 1 {
+						t.Fatalf("w=%d n=%d align=%d grain=%d: index %d visited %d times",
+							w, tc.n, tc.align, tc.grain, i, c)
+					}
+				}
+				if want := ShardsAligned(tc.n, tc.align, tc.grain); want > 1 && shards != want {
+					t.Errorf("w=%d n=%d align=%d grain=%d: ran %d shards, ShardsAligned says %d",
+						w, tc.n, tc.align, tc.grain, shards, want)
+				}
+			}
+		}()
+	}
+}
+
+func TestShardsAlignedSerialPrediction(t *testing.T) {
+	defer SetWorkers(SetWorkers(1))
+	if s := ShardsAligned(1000, 2, 4); s > 1 {
+		t.Errorf("ShardsAligned at workers=1 = %d, want <= 1", s)
+	}
+	defer SetWorkers(SetWorkers(8))
+	// Below one grain of blocks the call must be serial.
+	if s := ShardsAligned(6, 2, 8); s > 1 {
+		t.Errorf("ShardsAligned(6, 2, 8) = %d, want <= 1", s)
+	}
+}

@@ -145,3 +145,126 @@ func BenchmarkCol2ImCIFARFirstLayer(b *testing.B) {
 		Col2Im(dst, cols, g)
 	}
 }
+
+// matmulAccRangeZeroSkip is the pre-packed-engine small-tier loop body,
+// retained verbatim (including its data-dependent `av == 0` skip) so
+// BenchmarkMatMulZeroSkip can measure what the skip costs on dense data.
+// It is not called by any kernel.
+func matmulAccRangeZeroSkip(c, a, b []float64, k, n, lo, hi int) {
+	lb := lBlock(k, n)
+	for l0 := 0; l0 < k; l0 += lb {
+		l1 := l0 + lb
+		if l1 > k {
+			l1 = k
+		}
+		for i := lo; i < hi; i++ {
+			ci := c[i*n : i*n+n]
+			ai := a[i*k : i*k+k]
+			for l := l0; l < l1; l++ {
+				av := ai[l]
+				if av == 0 {
+					continue
+				}
+				bl := b[l*n : l*n+n]
+				for j, bv := range bl {
+					ci[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkMatMulZeroSkip pins the satellite decision to drop the
+// `av == 0` skip from the dense small-tier loop. On dense Gaussian data
+// the branch never fires and is perfectly predicted, so the two loops
+// measure within noise of each other — the skip was dead weight, not a
+// win, and removing it makes the small tier's ±0/NaN propagation match
+// the packed tier, which always multiplies. Run both sub-benchmarks to
+// see the (null) delta.
+func BenchmarkMatMulZeroSkip(b *testing.B) {
+	const n = 96 // below the packed-tier threshold shape class this loop serves
+	a, x, c := benchMat(b, n)
+	b.Run("skip", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			matmulAccRangeZeroSkip(c.Data, a.Data, x.Data, n, n, 0, n)
+		}
+	})
+	b.Run("noskip", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			matmulAccRange(c.Data, a.Data, x.Data, n, n, 0, n)
+		}
+	})
+}
+
+// BenchmarkKernelMatMulTransWorkers sweeps the transposed-operand GEMM
+// kernels (backward-pass shapes) the same way BenchmarkKernelMatMulWorkers
+// does, for BENCH_KERNELS.json.
+func BenchmarkKernelMatMulTransWorkers(b *testing.B) {
+	for _, n := range []int{128, 256} {
+		a, x, c := benchMat(b, n)
+		for _, w := range workerCounts(b) {
+			b.Run(fmt.Sprintf("transA/n%d/w%d", n, w), func(b *testing.B) {
+				defer parallel.SetWorkers(parallel.SetWorkers(w))
+				b.SetBytes(int64(3 * n * n * 8))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					MatMulTransA(c, a, x)
+				}
+			})
+			b.Run(fmt.Sprintf("transB/n%d/w%d", n, w), func(b *testing.B) {
+				defer parallel.SetWorkers(parallel.SetWorkers(w))
+				b.SetBytes(int64(3 * n * n * 8))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					MatMulTransB(c, a, x)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkKernelMatMulOdd measures the packed engine on shapes that
+// exercise the odd-row and padded-panel edges (worst case for tiling
+// overhead).
+func BenchmarkKernelMatMulOdd(b *testing.B) {
+	for _, n := range []int{65, 129, 257} {
+		a, x, c := benchMat(b, n)
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			defer parallel.SetWorkers(parallel.SetWorkers(1))
+			b.SetBytes(int64(3 * n * n * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMul(c, a, x)
+			}
+		})
+	}
+}
+
+// BenchmarkKernelConvFused measures the fused conv forward (panels
+// packed straight from the image) on the CIFAR first-layer shape.
+func BenchmarkKernelConvFused(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	img := New(3, 32, 32)
+	img.FillRandn(rng, 0, 1)
+	g := ConvGeom{KH: 5, KW: 5, SH: 1, SW: 1}
+	oh, ow := g.OutSize(32, 32)
+	const outC = 64
+	w := New(outC, 3*25)
+	w.FillRandn(rng, 0, 1)
+	bias := make([]float64, outC)
+	dst := make([]float64, outC*oh*ow)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ConvGemmBiasActInto(dst, w.Data, img.Data, 3, 32, 32, g, outC, bias, ActReLU)
+		}
+	})
+	for _, wk := range workerCounts(b) {
+		b.Run(fmt.Sprintf("cols/w%d", wk), func(b *testing.B) {
+			defer parallel.SetWorkers(parallel.SetWorkers(wk))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ConvGemmBiasAct(dst, w.Data, img.Data, 3, 32, 32, g, outC, bias, ActReLU)
+			}
+		})
+	}
+}

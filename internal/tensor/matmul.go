@@ -6,15 +6,25 @@ import (
 	"sasgd/internal/parallel"
 )
 
-// The matrix kernels below are parallelized over output rows through
-// parallel.For: the row range [0, m) is split into fixed contiguous
-// shards, and each shard writes a disjoint slice of the destination.
-// Within a shard the loop bodies are byte-for-byte the serial kernels,
-// and every C[i,j] accumulates its k products in ascending-l order
-// exactly as the serial loops do, so the results are bitwise identical
-// at every worker count (determinism the convergence experiments rely
-// on). Small products fall below parRowFlops and run serially with no
-// dispatch overhead.
+// The matrix kernels below pick between two tiers by shape alone
+// (usePacked in tile.go — never by worker count, so the tier choice
+// cannot affect cross-worker determinism):
+//
+//   - Large products run the cache-blocked, register-tiled packed engine
+//     in gemm.go: A and B are repacked into panel layouts, and a 2×4
+//     microkernel with register accumulators does the arithmetic.
+//   - Small products run the plain loops in this file, whose dispatch
+//     cost is just a shape check.
+//
+// Both tiers are parallelized over output rows through parallel.For /
+// ForAligned: fixed contiguous shards, each writing a disjoint slice of
+// the destination. Every C[i,j] accumulates its k products in strictly
+// ascending-l order into one accumulator chain in both tiers, so results
+// are bitwise identical at every worker count and across the tier
+// boundary's blocking choices (determinism the convergence experiments
+// rely on). The only exception is behind the FastKernels gate (gemm.go),
+// which swaps the small A·Bᵀ tier's dot product for a reordered
+// four-accumulator version.
 
 // parRowFlops is the minimum number of multiply-adds a shard must amortize
 // for parallel dispatch to pay off; rows are grouped until each shard
@@ -37,11 +47,13 @@ func matmulGrain(k, n int) int {
 
 // MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n), writing
 // into dst (m×n) which must be preallocated with the right shape. dst is
-// overwritten, not accumulated into. The kernel is a cache-friendly
-// ikj-ordered triple loop: the inner loop runs over contiguous rows of B
-// and C so it vectorizes. Rows of C are computed in parallel shards.
+// overwritten, not accumulated into.
 func MatMul(dst, a, b *Tensor) {
 	m, k, n := checkMatMulShapes(dst, a, b)
+	if usePacked(m, k, n) {
+		gemmPackedParallel(dst.Data, aSource{data: a.Data, ld: k}, b.Data, false, m, k, n, false, epilogue{})
+		return
+	}
 	c := dst.Data
 	parallel.For(m, matmulGrain(k, n), func(lo, hi int) {
 		cs := c[lo*n : hi*n]
@@ -55,6 +67,10 @@ func MatMul(dst, a, b *Tensor) {
 // MatMulAcc computes C += A·B with the same shape rules as MatMul.
 func MatMulAcc(dst, a, b *Tensor) {
 	m, k, n := checkMatMulShapes(dst, a, b)
+	if usePacked(m, k, n) {
+		gemmPackedParallel(dst.Data, aSource{data: a.Data, ld: k}, b.Data, false, m, k, n, true, epilogue{})
+		return
+	}
 	parallel.For(m, matmulGrain(k, n), func(lo, hi int) {
 		matmulAccRange(dst.Data, a.Data, b.Data, k, n, lo, hi)
 	})
@@ -64,6 +80,10 @@ func MatMulAcc(dst, a, b *Tensor) {
 // their own parallelism (it always runs serially on the calling
 // goroutine). a is m×k, b is k×n, c is m×n and is overwritten.
 func MatMulInto(c, a, b []float64, m, k, n int) {
+	if usePacked(m, k, n) {
+		gemmPackedSerial(c, aSource{data: a, ld: k}, b, false, m, k, n, false, epilogue{})
+		return
+	}
 	for i := range c[:m*n] {
 		c[i] = 0
 	}
@@ -90,7 +110,13 @@ func checkMatMulShapes(dst, a, b *Tensor) (m, k, n int) {
 // reused across the shard's rows. Blocking only regroups the l loop into
 // ascending runs; every C[i,j] still accumulates its products in strictly
 // ascending l order, so the result is bitwise identical to the unblocked
-// serial loop.
+// serial loop. The inner loop multiplies unconditionally: the old
+// data-dependent skip of zero A elements never fires on dense data and
+// buys nothing there (BenchmarkMatMulZeroSkip measures the two loops
+// within noise of each other), while skipping a row of B changes ±0/NaN
+// propagation relative to the packed tier, which always multiplies.
+// Dropping the skip keeps both tiers on the same arithmetic and the
+// inner loop branch-free.
 func matmulAccRange(c, a, b []float64, k, n, lo, hi int) {
 	lb := lBlock(k, n)
 	for l0 := 0; l0 < k; l0 += lb {
@@ -103,9 +129,6 @@ func matmulAccRange(c, a, b []float64, k, n, lo, hi int) {
 			ai := a[i*k : i*k+k]
 			for l := l0; l < l1; l++ {
 				av := ai[l]
-				if av == 0 {
-					continue
-				}
 				bl := b[l*n : l*n+n]
 				for j, bv := range bl {
 					ci[j] += av * bv
@@ -115,23 +138,10 @@ func matmulAccRange(c, a, b []float64, k, n, lo, hi int) {
 	}
 }
 
-// lBlock sizes the l-blocking of matmulAccRange so a block of B spans
-// roughly 512 KiB; small B is processed in one pass.
-func lBlock(k, n int) int {
-	const blockElems = 1 << 16
-	if n <= 0 || k*n <= blockElems {
-		return k
-	}
-	lb := blockElems / n
-	if lb < 8 {
-		lb = 8
-	}
-	return lb
-}
-
 // MatMulTransA computes C = Aᵀ·B where A is k×m, B is k×n, C is m×n.
 // Used in backward passes to form weight gradients without materializing
-// the transpose.
+// the transpose; the packed tier reads the transpose directly out of A's
+// columns while packing pair-panels.
 func MatMulTransA(dst, a, b *Tensor) {
 	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
 		panic("tensor: MatMulTransA needs 2-D operands")
@@ -144,6 +154,10 @@ func MatMulTransA(dst, a, b *Tensor) {
 	if dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTransA destination shape %v, want [%d %d]", dst.shape, m, n))
 	}
+	if usePacked(m, k, n) {
+		gemmPackedParallel(dst.Data, aSource{data: a.Data, ld: m, trans: true}, b.Data, false, m, k, n, false, epilogue{})
+		return
+	}
 	parallel.For(m, matmulGrain(k, n), func(lo, hi int) {
 		matMulTransARange(dst.Data, a.Data, b.Data, k, m, n, lo, hi)
 	})
@@ -152,6 +166,10 @@ func MatMulTransA(dst, a, b *Tensor) {
 // MatMulTransAInto is the raw-slice, always-serial form of MatMulTransA:
 // c (m×n) = aᵀ (k×m transposed) · b (k×n), c overwritten.
 func MatMulTransAInto(c, a, b []float64, k, m, n int) {
+	if usePacked(m, k, n) {
+		gemmPackedSerial(c, aSource{data: a, ld: m, trans: true}, b, false, m, k, n, false, epilogue{})
+		return
+	}
 	matMulTransARange(c, a, b, k, m, n, 0, m)
 }
 
@@ -167,9 +185,6 @@ func matMulTransARange(c, a, b []float64, k, m, n, lo, hi int) {
 		al := a[l*m+lo : l*m+hi]
 		bl := b[l*n : l*n+n]
 		for i, av := range al {
-			if av == 0 {
-				continue
-			}
 			ci := c[(lo+i)*n : (lo+i)*n+n]
 			for j, bv := range bl {
 				ci[j] += av * bv
@@ -179,18 +194,30 @@ func matMulTransARange(c, a, b []float64, k, m, n, lo, hi int) {
 }
 
 // MatMulTransB computes C = A·Bᵀ where A is m×k, B is n×k, C is m×n.
-// Used in backward passes to propagate gradients through linear layers.
+// Used in forward and backward passes of linear layers.
 func MatMulTransB(dst, a, b *Tensor) {
 	m, k, n := checkTransBShapes(dst, a, b, "MatMulTransB")
+	if usePacked(m, k, n) {
+		gemmPackedParallel(dst.Data, aSource{data: a.Data, ld: k}, b.Data, true, m, k, n, false, epilogue{})
+		return
+	}
 	parallel.For(m, matmulGrain(k, n), func(lo, hi int) {
 		matMulTransBRange(dst.Data, a.Data, b.Data, k, n, lo, hi, false)
 	})
 }
 
 // MatMulAccTransB computes C += A·Bᵀ where A is m×k, B is n×k, C is m×n.
-// Used by Conv2D backward to accumulate weight gradients across a batch.
+// The packed tier seeds each element's accumulation chain with the
+// existing C value (c + a₀b₀ + a₁b₁ + …) where the small tier computes
+// the dot product first and adds it once (c + Σaᵢbᵢ); the two round
+// differently, but the tier is a pure function of the shape, so any
+// given call site is still bitwise reproducible.
 func MatMulAccTransB(dst, a, b *Tensor) {
 	m, k, n := checkTransBShapes(dst, a, b, "MatMulAccTransB")
+	if usePacked(m, k, n) {
+		gemmPackedParallel(dst.Data, aSource{data: a.Data, ld: k}, b.Data, true, m, k, n, true, epilogue{})
+		return
+	}
 	parallel.For(m, matmulGrain(k, n), func(lo, hi int) {
 		matMulTransBRange(dst.Data, a.Data, b.Data, k, n, lo, hi, true)
 	})
@@ -212,17 +239,20 @@ func checkTransBShapes(dst, a, b *Tensor, op string) (m, k, n int) {
 }
 
 // matMulTransBRange computes C[lo:hi,:] (+)= A[lo:hi,:]·Bᵀ. Each C[i,j]
-// is one dot product computed in a single pass, so there is no
-// accumulation-order concern at all.
+// is one dot product: the ascending-order serial kernel by default, the
+// four-accumulator unrolled kernel under FastKernels.
 func matMulTransBRange(c, a, b []float64, k, n, lo, hi int, acc bool) {
+	fast := FastKernelsEnabled()
 	for i := lo; i < hi; i++ {
 		ai := a[i*k : i*k+k]
 		ci := c[i*n : i*n+n]
 		for j := 0; j < n; j++ {
 			bj := b[j*k : j*k+k]
-			s := 0.0
-			for l, av := range ai {
-				s += av * bj[l]
+			var s float64
+			if fast {
+				s = dotUnroll4(ai, bj)
+			} else {
+				s = dotSerial(ai, bj)
 			}
 			if acc {
 				ci[j] += s

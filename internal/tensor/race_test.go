@@ -1,0 +1,8 @@
+//go:build race
+
+package tensor
+
+// raceEnabled reports that this test binary was built with -race, whose
+// instrumentation allocates internally and would break the steady-state
+// allocs/op assertions.
+const raceEnabled = true

@@ -1,0 +1,75 @@
+package tensor
+
+// Blocking parameters for the packed GEMM engine (gemm.go). All kernel
+// tiling in this package derives from the four constants below, so cache
+// sizing lives in exactly one place.
+//
+// The hierarchy, innermost out:
+//
+//   - The microkernel computes a gemmMR × gemmNR tile of C with all
+//     gemmMR*gemmNR accumulators held in registers (gemm_micro.go).
+//     2×4 = 8 accumulators is the sweet spot for scalar amd64: each
+//     accumulator is an independent add chain, enough to saturate the
+//     FP ports, while 4×4 = 16 spills (exactly the XMM register count,
+//     leaving nothing for the a/b operands).
+//   - gemmKC bounds the k-extent of one packed pass: an A pair-panel is
+//     gemmMR×gemmKC = 4 KiB and a B panel gemmKC×gemmNR = 8 KiB, so the
+//     operands of one microkernel call sit comfortably in a 32 KiB L1d
+//     beside the C tile.
+//   - gemmMC groups output rows so one KC×NC slab of packed B is reused
+//     across a whole block of rows while the block's C rows
+//     (gemmMC × n ≤ 256 KiB at n = 512) stay L2-resident; the fused
+//     bias/activation epilogue runs per MC block, while its rows are
+//     still cache-hot.
+const (
+	gemmMR = 2   // microkernel rows
+	gemmNR = 4   // microkernel columns (one B panel width)
+	gemmKC = 256 // k-block: bounds packed-panel height
+	gemmMC = 64  // row-block: epilogue + B-slab reuse granularity
+)
+
+// tileParams returns the (mc, kc) blocking for an m×k · k×n product,
+// clamped to the problem so degenerate shapes never over-allocate
+// scratch. Every kernel — packed engine, fused conv, and the small-shape
+// loops via lBlock — sizes its blocking through this helper.
+func tileParams(m, k, n int) (mc, kc int) {
+	mc, kc = gemmMC, gemmKC
+	if mc > m {
+		mc = m
+	}
+	if kc > k {
+		kc = k
+	}
+	return mc, kc
+}
+
+// packedMinFlops is the smallest m*k*n product routed to the packed
+// engine. Packing copies m*k + k*n words to save ~2× on the 2*m*k*n
+// multiply-adds, so it has to amortize: below this threshold (one
+// 32×32×32 product) the plain loops win.
+const packedMinFlops = 1 << 15
+
+// usePacked reports whether an m×k·k×n product should go through the
+// packed, register-tiled engine. Small or degenerate shapes (a single
+// row, a short k) stay on the straightforward loops in matmul.go. The
+// choice is a pure function of the shape, never of the worker budget, so
+// it cannot break bitwise determinism across worker counts.
+func usePacked(m, k, n int) bool {
+	return m >= gemmMR && n >= gemmNR && k >= 8 && m*k*n >= packedMinFlops
+}
+
+// lBlock sizes the l-blocking of the small-shape kernels so a block of B
+// spans at most gemmKC² elements (512 KiB of float64, the same L2
+// footprint the packed engine's KC slab targets); small B is processed
+// in one pass.
+func lBlock(k, n int) int {
+	const blockElems = gemmKC * gemmKC
+	if n <= 0 || k*n <= blockElems {
+		return k
+	}
+	lb := blockElems / n
+	if lb < 8 {
+		lb = 8
+	}
+	return lb
+}

@@ -53,14 +53,41 @@ echo "==> go fuzz smoke (10s per target)"
 go test -fuzz 'FuzzAllreduceEquivalence' -fuzztime 10s -run 'Fuzz' ./internal/comm/
 go test -fuzz 'FuzzPlanBuckets' -fuzztime 10s -run 'Fuzz' ./internal/core/
 
+# The packed GEMM engine's whole contract is bitwise-identical results
+# at any worker count (plus fused-epilogue equivalence to the unfused
+# layers), and its parallelism runs through the aligned sharding
+# helpers, so give those determinism tests extra race-detector rounds.
+echo "==> go test -race -count=2 packed GEMM determinism + fusion"
+go test -race -count=2 -run 'Bitwise|FastKernels|LinearForward|ConvGemm' ./internal/tensor/
+go test -race -count=2 -run 'Fused' ./internal/nn/
+go test -race -count=2 -run 'Aligned' ./internal/parallel/
+
 # Steady-state allocation pins (the race detector's instrumentation
 # allocates, so these only check out in a plain build): bucketed
-# allreduce rounds must stay zero-alloc on the pooled buffers, and the
+# allreduce rounds must stay zero-alloc on the pooled buffers, the
 # disabled tracing path must stay nil-check-only free (the obs pin also
-# covers the enabled record fast path).
+# covers the enabled record fast path), and the packed GEMM entry points
+# must run allocation-free off the pooled pack scratch.
 echo "==> go test bucketed zero-alloc pin"
 go test -run 'SteadyStateAllocs' ./internal/comm/
 echo "==> go test obs disabled-path zero-alloc pin"
 go test -run 'NilTrackIsSafeAndFree|EnabledRecordIsAllocFree' ./internal/obs/
+echo "==> go test tensor GEMM zero-alloc pin"
+go test -run 'GemmSteadyStateAllocs' ./internal/tensor/
+
+# Bounds-check-elimination gate: the GEMM microkernels are written in
+# the len-conditioned slice-advance idiom precisely so the compiler can
+# prove every index in bounds; a regression shows up as a check_bce
+# diagnostic pointing into gemm_micro.go. The -a forces a real compile
+# (a cache hit would emit no diagnostics and pass vacuously).
+echo "==> bounds-check-elimination gate (gemm_micro.go)"
+bce_out="$(go build -a -o /dev/null \
+    -gcflags='sasgd/internal/tensor=-d=ssa/check_bce/debug=1' \
+    ./internal/tensor/ 2>&1)"
+if printf '%s\n' "$bce_out" | grep -q 'gemm_micro\.go'; then
+    printf '%s\n' "$bce_out" | grep 'gemm_micro\.go'
+    echo "FAIL: bounds checks in gemm_micro.go microkernels"
+    exit 1
+fi
 
 echo "OK"
