@@ -39,7 +39,10 @@ func main() {
 	overlap := flag.Bool("overlap", false, "overlap SASGD aggregation with backprop (bucketed allreduce; default also via SASGD_OVERLAP=1)")
 	buckets := flag.Int("buckets", 0, "gradient bucket count for -overlap (0 = one per parameterized layer)")
 	momentum := flag.Float64("momentum", 0, "EAMSGD local momentum (0 = default, negative = none)")
-	topk := flag.Float64("topk", 0, "SASGD top-k compression fraction in (0,1); 0 = dense aggregation")
+	compress := flag.String("compress", "", "SASGD gradient compression codec: topk (error-feedback top-k), qint8 (int8 quantization) or none (default also via SASGD_COMPRESS, e.g. SASGD_COMPRESS=topk:0.05)")
+	compressK := flag.Float64("compress-k", 0, "top-k fraction in (0,1] for -compress topk (0 = 0.05; 1 = dense)")
+	compressAdapt := flag.Bool("compress-adapt", false, "adapt the top-k fraction to the captured gradient-mass fraction (topk only)")
+	topk := flag.Float64("topk", 0, "deprecated alias for -compress topk -compress-k <f>: top-k fraction in (0,1); 0 = dense aggregation")
 	workers := flag.Int("workers", 0, "per-learner kernel workers (0 = split SASGD_WORKERS/GOMAXPROCS across learners)")
 	fastKernels := flag.Bool("fast-kernels", false, "use reordered-summation tensor kernels: faster dot products, value-equal to the default kernels within 1e-12 but not bit-identical (default also via SASGD_FAST_KERNELS=1)")
 	sim := flag.Bool("sim", false, "attach the fabric simulator and report simulated epoch time")
@@ -75,23 +78,36 @@ func main() {
 	}
 
 	cfg := core.Config{
-		Algo:         core.Algorithm(*algo),
-		Learners:     *p,
-		Interval:     *t,
-		Gamma:        w.Gamma,
-		GammaP:       *gammaP,
-		Batch:        w.Batch,
-		Epochs:       w.Epochs,
-		Seed:         *seed,
-		Momentum:     *momentum,
-		Allreduce:    core.AllreduceAlgo(*allreduce),
-		CommChunk:    *commChunk,
-		OverlapComm:  *overlap,
-		CommBuckets:  *buckets,
-		CompressTopK: *topk,
-		VirtualTime:  *vtime,
-		Workers:      *workers,
-		FastKernels:  *fastKernels,
+		Algo:          core.Algorithm(*algo),
+		Learners:      *p,
+		Interval:      *t,
+		Gamma:         w.Gamma,
+		GammaP:        *gammaP,
+		Batch:         w.Batch,
+		Epochs:        w.Epochs,
+		Seed:          *seed,
+		Momentum:      *momentum,
+		Allreduce:     core.AllreduceAlgo(*allreduce),
+		CommChunk:     *commChunk,
+		OverlapComm:   *overlap,
+		CommBuckets:   *buckets,
+		CompressTopK:  *topk,
+		Compress:      *compress,
+		CompressK:     *compressK,
+		CompressAdapt: *compressAdapt,
+		VirtualTime:   *vtime,
+		Workers:       *workers,
+		FastKernels:   *fastKernels,
+	}
+	switch *compress {
+	case "", "none", core.CodecTopK, core.CodecQInt8:
+	default:
+		fmt.Fprintf(os.Stderr, "sasgd-train: unknown compression codec %q (want topk, qint8 or none)\n", *compress)
+		os.Exit(2)
+	}
+	if *compressK < 0 || *compressK > 1 {
+		fmt.Fprintf(os.Stderr, "sasgd-train: -compress-k %g out of range (0,1]\n", *compressK)
+		os.Exit(2)
 	}
 	if *gamma > 0 {
 		cfg.Gamma = *gamma
@@ -180,6 +196,9 @@ func main() {
 		metrics.Pct(res.FinalTrain), metrics.Pct(res.FinalTest), res.Samples, res.Wall.Round(1e6))
 	if res.StalenessMax > 0 {
 		fmt.Printf("gradient staleness: mean %.2f, max %d\n", res.StalenessMean, res.StalenessMax)
+	}
+	if res.CompressK > 0 {
+		fmt.Printf("compression: final top-k fraction %.4g (%d words on the wire)\n", res.CompressK, res.WordsMoved)
 	}
 	if f := res.Comm.Faults; f.Active() {
 		fmt.Printf("faults: %d drops, %d retries, %d timeouts, %d crashes, %d evictions, %d re-forms (%d/%d learners live)\n",

@@ -81,3 +81,113 @@ func TestAllreduceSteadyStateAllocs(t *testing.T) {
 		})
 	}
 }
+
+// TestSelectionSteadyStateAllocs pins the top-k selection core: once the
+// selector's magnitude scratch and the caller's index slice have warmed
+// up, picking the k largest of n entries is O(n) expected time and zero
+// allocations — the property that lets the codec run selection on every
+// bucket of every aggregation without touching the heap.
+func TestSelectionSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocs/op is pinned in non-race builds")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	const n, k = 10000, 500
+	dense := make([]float64, n)
+	for i := range dense {
+		dense[i] = float64((i*2654435761)%1000) - 500
+	}
+	var s selector
+	idx := make([]int, 0, k)
+	pick := func() { idx = s.pick(dense, k, idx[:0]) }
+	pick() // warm the magnitude scratch
+	if avg := testing.AllocsPerRun(100, pick); avg != 0 {
+		t.Errorf("%.1f allocs per selection, want 0", avg)
+	}
+	if len(idx) != k {
+		t.Fatalf("selected %d entries, want %d", len(idx), k)
+	}
+}
+
+// TestCompressedSteadyStateAllocs extends the zero-alloc pin to the
+// compression engine: a full compressed allreduce round — residual fold,
+// selection or quantization, pooled pair/packed-integer collective,
+// dense scatter — must not allocate once the codec scratch and the
+// group's buffer pool have warmed up. Each round restores the gradient
+// and residual from pristine copies inside the measured closure (copy
+// into preallocated buffers, no heap traffic) so every round compresses
+// identical data and message sizes stay fixed.
+func TestCompressedSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocs/op is pinned in non-race builds")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	defer parallel.SetWorkers(parallel.SetWorkers(1))
+
+	for _, tc := range []struct {
+		name  string
+		codec string
+		p     int
+		ratio float64
+	}{
+		{"topk/p8", "topk", 8, 0.05},
+		{"topk/p5", "topk", 5, 0.05},
+		{"qint8/p8", "qint8", 8, 0},
+		{"qint8/p5", "qint8", 5, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const m = 1003
+			g := NewGroup(tc.p)
+			comps := make([]Compressor, tc.p)
+			segs := make([][]float64, tc.p)
+			ress := make([][]float64, tc.p)
+			seg0 := make([][]float64, tc.p)
+			res0 := make([][]float64, tc.p)
+			for r := 0; r < tc.p; r++ {
+				comps[r] = NewCompressor(tc.codec)
+				segs[r] = make([]float64, m)
+				ress[r] = make([]float64, m)
+				seg0[r] = make([]float64, m)
+				res0[r] = make([]float64, m)
+				for i := range seg0[r] {
+					seg0[r][i] = float64((r+i)%67) - 33
+					res0[r][i] = float64((r*3+i)%29) * 0.01
+				}
+			}
+			one := func(r int) {
+				copy(segs[r], seg0[r])
+				copy(ress[r], res0[r])
+				comps[r].Allreduce(g, r, segs[r], ress[r], tc.ratio, 0, nil, 0)
+			}
+			start := make([]chan struct{}, tc.p)
+			done := make(chan struct{}, tc.p)
+			for r := 1; r < tc.p; r++ {
+				start[r] = make(chan struct{})
+				go func(r int) {
+					for range start[r] {
+						one(r)
+						done <- struct{}{}
+					}
+				}(r)
+			}
+			round := func() {
+				for r := 1; r < tc.p; r++ {
+					start[r] <- struct{}{}
+				}
+				one(0)
+				for r := 1; r < tc.p; r++ {
+					<-done
+				}
+			}
+			for i := 0; i < 5; i++ {
+				round()
+			}
+			if avg := testing.AllocsPerRun(10, round); avg != 0 {
+				t.Errorf("%s: %.1f allocs per steady-state compressed round, want 0", tc.name, avg)
+			}
+			for r := 1; r < tc.p; r++ {
+				close(start[r])
+			}
+		})
+	}
+}

@@ -67,12 +67,16 @@ func (h Handle) Wait() { <-h.done }
 const (
 	opTree = iota // chunked pipelined binomial tree (bitwise tree order)
 	opRHD         // recursive halving/doubling (value-equal, reassociates)
+	opComp        // compression codec collective (Compressor.Allreduce)
 )
 
 // bucketOp is one submitted bucket; ops are preallocated per bucket and
 // recycled every interval, keeping steady state allocation-free.
 type bucketOp struct {
 	buf   []float64
+	res   []float64  // compressed ops: the bucket's residual slice
+	comp  Compressor // compressed ops: the learner's codec
+	ratio float64    // compressed ops: sparsity knob
 	chunk int
 	ready float64
 	kind  int
@@ -148,6 +152,8 @@ func (b *BucketedAllreduce) worker() {
 		switch op.kind {
 		case opRHD:
 			b.g.AllreduceRHDFrom(b.rank, op.buf, op.ready)
+		case opComp:
+			op.comp.Allreduce(b.g, b.rank, op.buf, op.res, op.ratio, op.ready, b.tk, op.idx)
 		default:
 			b.g.AllreduceTreeChunkedFrom(b.rank, op.buf, op.chunk, op.ready)
 		}
@@ -183,6 +189,27 @@ func (b *BucketedAllreduce) Begin(i int, buf []float64, chunkWords int, ready fl
 // (and falling back to the tree for non-power-of-two groups).
 func (b *BucketedAllreduce) BeginRHD(i int, buf []float64, ready float64) Handle {
 	return b.submit(i, buf, opRHD, 0, ready)
+}
+
+// BeginCompressed submits bucket i for a compressed allreduce through
+// comp: the codec folds the bucket's residual slice into its gradient
+// slice, ships the encoded form over its own collective, and leaves the
+// dense global compressed aggregate in the bucket (see Compressor). buf
+// and res are the full flat gradient and residual buffers — the
+// bucket's segment is sliced internally — and ratio is the codec's
+// sparsity knob. Every rank must submit the same codec type and ratio
+// in the same bucket order; ready stamps the codec's first sends, as in
+// Begin.
+func (b *BucketedAllreduce) BeginCompressed(i int, buf, res []float64, comp Compressor, ratio, ready float64) Handle {
+	s := b.segs[i]
+	if s.Off+s.Len > len(res) {
+		panic(fmt.Sprintf("comm: bucket %d segment %+v exceeds residual length %d", i, s, len(res)))
+	}
+	op := &b.ops[i]
+	op.res = res[s.Off : s.Off+s.Len]
+	op.comp = comp
+	op.ratio = ratio
+	return b.submit(i, buf, opComp, 0, ready)
 }
 
 func (b *BucketedAllreduce) submit(i int, buf []float64, kind, chunkWords int, ready float64) Handle {

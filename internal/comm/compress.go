@@ -1,0 +1,403 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"sasgd/internal/obs"
+)
+
+// Gradient-compression engine. SASGD's aggregation interval makes
+// communication sparse in *time*; the codecs here make each aggregation
+// sparse (or narrow) in *space* as well. A Compressor owns one
+// learner's codec state — selection scratch, encode buffers, capture
+// statistics — and runs one bucket's complete compressed allreduce:
+// fold the error-feedback residual, encode, run the codec's collective,
+// and leave the dense global aggregate in the bucket. The engine plugs
+// into BucketedAllreduce (BeginCompressed), so compression composes
+// with backward-overlapped aggregation instead of forcing a serial
+// fallback, and into the resilient path's synchronous drive, so
+// compressed runs survive chaos scenarios.
+//
+// Error-feedback contract (Alistarh et al., "The Convergence of
+// Sparsified Gradient Methods"; the param_state["memory"] pattern of
+// SparsifiedSGD): on entry seg holds the interval's accumulated
+// gradient for the bucket and res the residual memory — everything
+// selection dropped in earlier intervals. The codec folds res into seg,
+// transmits a compressed view of the folded value, and stores the
+// untransmitted remainder back into res, so for every coordinate
+//
+//	transmitted + res_after == seg + res_before   (exactly)
+//
+// and no gradient mass is ever dropped permanently — coordinates too
+// small to ship accumulate across intervals until they win selection.
+// The conservation is pinned bitwise in compress_test.go.
+
+// Compressor is one learner's instance of a gradient-compression codec.
+// Instances carry reusable scratch and must not be shared across ranks;
+// within a rank, calls must be serialized (the bucketed comm worker and
+// the resilient path's learner loop both are).
+type Compressor interface {
+	// Name returns the codec's config name ("topk", "qint8").
+	Name() string
+
+	// Allreduce runs one bucket's compressed aggregation across the
+	// group. seg is the bucket's slice of the accumulated gradient, res
+	// the matching slice of the learner's error-feedback residual (see
+	// the package comment for the contract); on return seg holds the
+	// dense global compressed aggregate — identical on every rank — and
+	// res the untransmitted remainder. ratio is the sparsity knob in
+	// (0, 1] for codecs that have one (top-k fraction; ignored by
+	// qint8). ready stamps the collective's first sends on a simulated
+	// fabric (the layer's backward-completion time on the overlap path).
+	// tk records the codec's encode work as a compress span with arg as
+	// the span argument (the bucket index); nil-safe.
+	//
+	// Every rank of the group must call Allreduce with the same bucket
+	// sequence, codec and ratio — the same discipline every collective
+	// in this package requires.
+	Allreduce(g *Group, rank int, seg, res []float64, ratio, ready float64, tk *obs.Track, arg int32)
+
+	// TakeCapture returns and resets the squared norms of the
+	// transmitted and untransmitted gradient parts accumulated over the
+	// Allreduce calls since the last take — the adaptive-sparsity
+	// controller's input signal.
+	TakeCapture() (sent2, resid2 float64)
+}
+
+// NewCompressor returns a fresh per-learner codec instance for the
+// given config name, or nil for "" / "none" (dense aggregation).
+func NewCompressor(name string) Compressor {
+	switch name {
+	case "", "none":
+		return nil
+	case "topk":
+		return &topkCompressor{}
+	case "qint8":
+		return &qint8Compressor{}
+	}
+	panic(fmt.Sprintf("comm: unknown compression codec %q (want topk or qint8)", name))
+}
+
+// SparsityK converts a top-k fraction into an entry count for an
+// n-coordinate bucket: ⌈ratio·n⌉ clamped to [1, n]. Rounding up means
+// "ship at least this fraction" — in particular ratio → 1 keeps every
+// entry of every bucket, so near-lossless settings really are lossless.
+// Every rank and every path (engine, legacy TopK callers, wire-volume
+// pins) must use the same rounding, so it lives here.
+func SparsityK(ratio float64, n int) int {
+	k := int(math.Ceil(ratio * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// ---------------------------------------------------------------------
+// Top-k selection core: pooled O(n)-expected threshold selection.
+
+// selector holds the magnitude scratch of top-k selection. Zero value
+// ready; the scratch grows to the largest bucket seen and is reused.
+type selector struct {
+	mag []float64
+}
+
+// pick appends the indices of the k largest-magnitude entries of dense
+// to idx, in ascending index order, and returns the extended slice.
+// Exactly k indices are appended (k must be in [1, len(dense)]), and
+// ties on the threshold magnitude are broken toward lower indices — the
+// same entries, in the same order, that a full (magnitude descending,
+// index ascending) sort would keep, so results are deterministic. The
+// cost is O(n) expected: one quickselect on a magnitude copy for the
+// threshold plus two linear passes, no allocation once the scratch has
+// warmed up.
+func (s *selector) pick(dense []float64, k int, idx []int) []int {
+	if k >= len(dense) {
+		for i := range dense {
+			idx = append(idx, i)
+		}
+		return idx
+	}
+	m := s.mag[:0]
+	for _, v := range dense {
+		m = append(m, math.Abs(v))
+	}
+	s.mag = m
+	t := quickselectKthLargest(m, k)
+	// Entries strictly above the threshold all belong to the top k; the
+	// remaining quota is filled with threshold-magnitude entries in
+	// ascending index order.
+	above := 0
+	for _, v := range dense {
+		if math.Abs(v) > t {
+			above++
+		}
+	}
+	ties := k - above
+	for i, v := range dense {
+		mv := math.Abs(v)
+		switch {
+		case mv > t:
+			idx = append(idx, i)
+		case mv == t && ties > 0:
+			ties--
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// quickselectKthLargest partially reorders a in place and returns its
+// k-th largest element (1 ≤ k ≤ len(a)). Hoare partitioning with
+// median-of-three pivots: O(n) expected with a deterministic schedule
+// (no randomization, so every rank selecting over identical data does
+// identical work and the selection threshold is reproducible).
+func quickselectKthLargest(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	kk := k - 1 // target position in descending order
+	for lo < hi {
+		pivot := median3(a[lo], a[lo+(hi-lo)/2], a[hi])
+		i, j := lo, hi
+		for i <= j {
+			for a[i] > pivot {
+				i++
+			}
+			for a[j] < pivot {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		// a[lo..j] ≥ pivot ≥ a[i..hi]; anything between equals pivot.
+		switch {
+		case kk <= j:
+			hi = j
+		case kk >= i:
+			lo = i
+		default:
+			return a[kk]
+		}
+	}
+	return a[lo]
+}
+
+// median3 returns the median of three values (the pivot rule).
+func median3(a, b, c float64) float64 {
+	if a < b {
+		a, b = b, a
+	}
+	if b < c {
+		b = c
+	}
+	if a < b {
+		b = a
+	}
+	return b
+}
+
+// selPool backs the package-level TopK entry point so one-shot callers
+// share warmed selection scratch.
+var selPool = sync.Pool{New: func() interface{} { return new(selector) }}
+
+// ---------------------------------------------------------------------
+// topk codec: error-feedback top-k sparsification over a pair-encoded
+// sparse binomial tree.
+
+// topkCompressor is the error-feedback top-k codec. Wire format: flat
+// (index, value) float64 pairs in ascending index order — 2k words for
+// k entries, the same accounting SparseVec.Words uses, charged under
+// the "sparse" traffic label. Messages grow toward the root only where
+// supports differ; the root re-sparsifies the merged aggregate back to
+// k entries before broadcast (folding the dropped remainder into its
+// own residual, so conservation holds globally), which caps the
+// broadcast at 2k words regardless of support overlap.
+type topkCompressor struct {
+	sel  selector
+	idx  []int // selected coordinate scratch
+	encA []float64
+	encB []float64 // pair-list ping/pong merge scratch
+
+	sent2, resid2 float64
+}
+
+func (c *topkCompressor) Name() string { return "topk" }
+
+func (c *topkCompressor) TakeCapture() (sent2, resid2 float64) {
+	sent2, resid2 = c.sent2, c.resid2
+	c.sent2, c.resid2 = 0, 0
+	return sent2, resid2
+}
+
+func (c *topkCompressor) Allreduce(g *Group, rank int, seg, res []float64, ratio, ready float64, tk *obs.Track, arg int32) {
+	g.checkRank(rank)
+	if len(seg) != len(res) {
+		panic(fmt.Sprintf("comm: topk bucket has %d gradient words but %d residual words", len(seg), len(res)))
+	}
+	if len(seg) == 0 {
+		return
+	}
+	g.setAlgo(rank, algoSparse)
+	cs := tk.Begin()
+	// Fold the residual: every coordinate unsent in earlier intervals
+	// competes for selection again with its full accumulated value.
+	for i := range seg {
+		seg[i] += res[i]
+	}
+	k := SparsityK(ratio, len(seg))
+	c.idx = c.sel.pick(seg, k, c.idx[:0])
+	// Encode the selection and split the folded gradient: transmitted
+	// coordinates zero their residual (x − x == 0 exactly), unselected
+	// ones keep their full folded value — the conservation invariant
+	// selected + residual == folded gradient, bitwise.
+	enc := c.encA[:0]
+	for _, j := range c.idx {
+		v := seg[j]
+		enc = append(enc, float64(j), v)
+		c.sent2 += v * v
+	}
+	c.encA = enc
+	copy(res, seg)
+	for _, j := range c.idx {
+		res[j] = 0
+	}
+	for _, v := range res {
+		c.resid2 += v * v
+	}
+	tk.EndArg(obs.PhaseCompress, arg, cs)
+	sum := c.allreducePairs(g, rank, enc, k, res, ready)
+	// Scatter the compressed global aggregate densely into seg; the
+	// unselected coordinates of the aggregate are exactly zero.
+	clear(seg)
+	for i := 0; i < len(sum); i += 2 {
+		seg[int(sum[i])] = sum[i+1]
+	}
+}
+
+// allreducePairs reduces the rank's encoded pair list to rank 0 over a
+// binomial tree (coordinate-wise sums, merged in fixed tree order, so
+// values are bitwise deterministic), re-sparsifies the merged aggregate
+// at the root, and broadcasts the result down the same tree. All
+// payloads are pooled copies; acc ping-pongs between the codec's two
+// scratch buffers, so steady state allocates nothing.
+func (c *topkCompressor) allreducePairs(g *Group, rank int, acc []float64, k int, res []float64, ready float64) []float64 {
+	cur, spare := acc, c.encB
+	for step := 1; step < g.p; step <<= 1 {
+		if rank%(2*step) != 0 {
+			pb := g.acquire(len(cur))
+			copy(pb.data, cur)
+			g.sendMsgAt(rank, rank-step, message{data: pb.data, pb: pb}, ready)
+			break
+		}
+		if peer := rank + step; peer < g.p {
+			in := g.recvMsg(rank, peer)
+			if in.arrive > ready {
+				ready = in.arrive
+			}
+			merged := mergePairs(spare[:0], cur, in.data)
+			g.releaseMsg(in)
+			spare = cur
+			cur = merged
+		}
+	}
+	if rank == 0 && len(cur) > 2*k {
+		// The union of the learners' supports outgrew k: keep the k
+		// largest-magnitude aggregate entries and fold the dropped
+		// remainder into the root's own residual, where it re-enters
+		// selection next interval through rank 0's contribution. This
+		// caps every broadcast message at 2k words and keeps global
+		// conservation exact.
+		cur = c.resparsify(cur, k, res)
+	}
+	top := 1
+	for top < g.p {
+		top <<= 1
+	}
+	for step := top >> 1; step >= 1; step >>= 1 {
+		switch {
+		case rank%(2*step) == 0:
+			if peer := rank + step; peer < g.p {
+				pb := g.acquire(len(cur))
+				copy(pb.data, cur)
+				g.sendMsgAt(rank, peer, message{data: pb.data, pb: pb}, ready)
+			}
+		case rank%(2*step) == step:
+			in := g.recvMsg(rank, rank-step)
+			ready = in.arrive
+			cur = append(cur[:0], in.data...)
+			g.releaseMsg(in)
+		}
+	}
+	c.encA, c.encB = cur, spare
+	return cur
+}
+
+// mergePairs appends the coordinate-wise sum of two ascending pair
+// lists to dst. The left operand is always the accumulated value and
+// the right the incoming child's — the fixed association every rank's
+// tree walk shares, which keeps merged values bitwise deterministic.
+func mergePairs(dst, a, b []float64) []float64 {
+	if len(a)%2 != 0 || len(b)%2 != 0 {
+		panic(fmt.Sprintf("comm: sparse pair message has odd length %d/%d", len(a), len(b)))
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i], a[i+1])
+			i += 2
+		case a[i] > b[j]:
+			dst = append(dst, b[j], b[j+1])
+			j += 2
+		default:
+			dst = append(dst, a[i], a[i+1]+b[j+1])
+			i += 2
+			j += 2
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
+}
+
+// resparsify keeps the k largest-magnitude pairs of acc (ties toward
+// lower coordinates, matching pick's order) in place and folds every
+// dropped pair's value into res at its coordinate. Only the root calls
+// this, once per bucket.
+func (c *topkCompressor) resparsify(acc []float64, k int, res []float64) []float64 {
+	m := c.sel.mag[:0]
+	for i := 1; i < len(acc); i += 2 {
+		m = append(m, math.Abs(acc[i]))
+	}
+	c.sel.mag = m
+	t := quickselectKthLargest(m, k)
+	above := 0
+	for i := 1; i < len(acc); i += 2 {
+		if math.Abs(acc[i]) > t {
+			above++
+		}
+	}
+	ties := k - above
+	w := 0
+	for i := 0; i < len(acc); i += 2 {
+		mv := math.Abs(acc[i+1])
+		keep := mv > t
+		if !keep && mv == t && ties > 0 {
+			ties--
+			keep = true
+		}
+		if keep {
+			acc[w], acc[w+1] = acc[i], acc[i+1]
+			w += 2
+		} else {
+			res[int(acc[i])] += acc[i+1]
+		}
+	}
+	return acc[:w]
+}

@@ -2,7 +2,6 @@ package comm
 
 import (
 	"fmt"
-	"sort"
 
 	"sasgd/internal/parallel"
 )
@@ -31,8 +30,13 @@ func (s SparseVec) NNZ() int { return len(s.Idx) }
 func (s SparseVec) Words() int { return 2 * len(s.Idx) }
 
 // TopK extracts the k largest-magnitude entries of dense into a
-// SparseVec (all entries if k >= len(dense) or k <= 0 selects none).
-// Ties are broken toward lower indices so the result is deterministic.
+// SparseVec (all entries if k >= len(dense); k <= 0 selects none).
+// Ties are broken toward lower indices so the result is deterministic —
+// the same entries a full (magnitude descending, index ascending) sort
+// would keep. Selection is O(n) expected (pooled threshold quickselect,
+// see compress.go); the only allocations are the result slices, and the
+// compression engine's codecs avoid even those by selecting into their
+// own scratch.
 func TopK(dense []float64, k int) SparseVec {
 	if k <= 0 {
 		return SparseVec{}
@@ -40,33 +44,14 @@ func TopK(dense []float64, k int) SparseVec {
 	if k > len(dense) {
 		k = len(dense)
 	}
-	idx := make([]int, len(dense))
-	for i := range idx {
-		idx[i] = i
-	}
-	// Partial selection: full sort is O(n log n) but simple and
-	// deterministic; selection runs once per aggregation interval.
-	sort.Slice(idx, func(a, b int) bool {
-		va, vb := abs(dense[idx[a]]), abs(dense[idx[b]])
-		if va != vb {
-			return va > vb
-		}
-		return idx[a] < idx[b]
-	})
-	sel := append([]int(nil), idx[:k]...)
-	sort.Ints(sel)
-	out := SparseVec{Idx: sel, Val: make([]float64, k)}
-	for i, j := range sel {
+	s := selPool.Get().(*selector)
+	idx := s.pick(dense, k, make([]int, 0, k))
+	selPool.Put(s)
+	out := SparseVec{Idx: idx, Val: make([]float64, len(idx))}
+	for i, j := range idx {
 		out.Val[i] = dense[j]
 	}
 	return out
-}
-
-func abs(v float64) float64 {
-	if v < 0 {
-		return -v
-	}
-	return v
 }
 
 // AddTo accumulates the sparse vector into dense. Idx is strictly

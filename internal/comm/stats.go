@@ -40,11 +40,12 @@ const (
 	algoRing               // ring reduce-scatter + allgather
 	algoSparse             // sparse (index+value) binomial tree
 	algoBcast              // binomial-tree broadcast
+	algoQuant              // quantized (packed int8/int16) binomial tree
 	numAlgos
 )
 
 var algoNames = [numAlgos]string{
-	"p2p", "tree", "ptree", "rhd", "ring", "sparse", "bcast",
+	"p2p", "tree", "ptree", "rhd", "ring", "sparse", "bcast", "quant",
 }
 
 // rankStats is one rank's counters. cur is the algorithm label set by

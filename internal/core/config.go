@@ -11,6 +11,8 @@ package core
 import (
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 
 	"sasgd/internal/comm"
@@ -54,6 +56,35 @@ func DefaultFastKernels() bool {
 		defaultFastKernels = s == "1" || s == "true"
 	})
 	return defaultFastKernels
+}
+
+var (
+	compressOnce         sync.Once
+	defaultCompressCodec string
+	defaultCompressK     float64
+)
+
+// DefaultCompress returns the gradient-compression codec and top-k
+// fraction requested by the SASGD_COMPRESS environment variable —
+// "topk", "topk:0.05" or "qint8"; empty (the default) leaves
+// compression off, and a malformed fraction is ignored (the codec's
+// default applies). Config.withDefaults consults it when no codec was
+// set explicitly, mirroring the -overlap/SASGD_OVERLAP precedence.
+func DefaultCompress() (codec string, k float64) {
+	compressOnce.Do(func() {
+		s := os.Getenv("SASGD_COMPRESS")
+		if s == "" {
+			return
+		}
+		name, frac, ok := strings.Cut(s, ":")
+		defaultCompressCodec = name
+		if ok {
+			if v, err := strconv.ParseFloat(frac, 64); err == nil && v > 0 {
+				defaultCompressK = v
+			}
+		}
+	})
+	return defaultCompressCodec, defaultCompressK
 }
 
 var (
@@ -125,6 +156,12 @@ const (
 	AllreduceRHD   AllreduceAlgo = "rhd"   // recursive halving/doubling (Rabenseifner); power-of-two p, tree fallback
 )
 
+// Gradient-compression codec names for Config.Compress.
+const (
+	CodecTopK  = "topk"  // error-feedback top-k sparsification
+	CodecQInt8 = "qint8" // int8 quantization with a shared per-bucket scale
+)
+
 // Config parameterizes a training run. The field names follow the
 // paper's notation (Table III): p learners, aggregation interval T,
 // minibatch size M, local learning rate γ and global rate γp.
@@ -168,11 +205,12 @@ type Config struct {
 	// finalized its layers' gradients, overlapping communication with the
 	// remainder of backprop. Results are bitwise identical to the serial
 	// path for the tree family ("tree"/"ptree"; "rhd" is value-equal as
-	// always). It applies to SASGD with dense aggregation only — runs
-	// with CompressTopK or the ring collective fall back to the serial
-	// path. The SASGD_OVERLAP environment variable ("1"/"true") turns it
-	// on by default for every run, which is how the experiment drivers
-	// pick it up.
+	// always) and for every compression codec (per-bucket codec
+	// collectives are independent and deterministic, so the launch
+	// schedule cannot change values). Only the ring collective falls
+	// back to the serial path. The SASGD_OVERLAP environment variable
+	// ("1"/"true") turns it on by default for every run, which is how
+	// the experiment drivers pick it up.
 	OverlapComm bool
 
 	// CommBuckets is the number of gradient buckets for OverlapComm:
@@ -181,12 +219,42 @@ type Config struct {
 	// count) select one bucket per parameterized layer.
 	CommBuckets int
 
-	// CompressTopK, when in (0, 1), makes SASGD's aggregation sparse in
-	// space as well as in time: each learner ships only the top-k
-	// fraction of its accumulated gradient (by magnitude) through a
-	// sparse allreduce, keeping the unsent remainder as an error-feedback
-	// residual folded into the next interval. 0 disables compression
-	// (the paper's Algorithm 1).
+	// Compress selects the gradient-compression codec for SASGD
+	// aggregation: "" (dense — the paper's Algorithm 1), CodecTopK
+	// (error-feedback top-k sparsification) or CodecQInt8 (int8
+	// quantization with a shared per-bucket scale, residual-fed so it
+	// composes with error feedback). Compressed aggregation always runs
+	// through the bucketed engine — each bucket's codec collective is
+	// launched per bucket, composing with OverlapComm — and ignores
+	// Allreduce (the codec brings its own collective). The
+	// SASGD_COMPRESS environment variable ("topk", "topk:0.05",
+	// "qint8") supplies the default when neither Compress nor
+	// CompressTopK is set.
+	Compress string
+
+	// CompressK is the top-k sparsity fraction for CodecTopK: each
+	// bucket ships its ⌊CompressK·len⌋ (at least 1) largest-magnitude
+	// entries, and the unsent remainder accumulates in a per-learner
+	// error-feedback residual that is folded back before the next
+	// selection. Zero selects 0.05; values ≥ 1 ship everything, which
+	// is dense aggregation and runs the true dense path (bitwise
+	// identical to Compress == ""). Ignored by CodecQInt8.
+	CompressK float64
+
+	// CompressAdapt enables the adaptive-sparsity controller for
+	// CodecTopK: after each aggregation, the learners allreduce the
+	// squared norms of the sent and unsent gradient parts and grow or
+	// shrink the working fraction to hold the globally captured
+	// gradient-mass share inside a target band (see nextRatio in
+	// compress.go). Deterministic — every learner sees identical global
+	// stats and applies the identical update. The final fraction is
+	// reported in Result.CompressK.
+	CompressAdapt bool
+
+	// CompressTopK is the original name of the top-k knob, kept for
+	// compatibility: a value in (0, 1) is equivalent to Compress =
+	// CodecTopK with CompressK set to it, and values ≥ 1 run the dense
+	// path. Ignored when Compress is set explicitly.
 	CompressTopK float64
 
 	// VirtualTime serializes the asynchronous algorithms' learner steps
@@ -271,7 +339,7 @@ type Config struct {
 	// hook must copy the slice if it retains it. Test instrumentation —
 	// the chaos harness uses it to compare aggregated gradients bitwise
 	// across fault-free and degraded runs. Dense aggregation only; the
-	// sparse top-k path does not invoke it.
+	// compression engine (Compress/CompressTopK) does not invoke it.
 	AggHook func(boundary int, gs []float64)
 }
 
@@ -314,6 +382,39 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Allreduce == "" {
 		c.Allreduce = AllreduceTree
+	}
+	// Compression-codec normalization: the legacy CompressTopK knob maps
+	// onto the engine, the SASGD_COMPRESS env supplies a default when
+	// nothing was set explicitly, and "ship everything" degenerates to
+	// the true dense path (bitwise identical to Algorithm 1).
+	if c.Compress == "" && c.CompressTopK > 0 && c.CompressTopK < 1 {
+		c.Compress, c.CompressK = CodecTopK, c.CompressTopK
+	}
+	if c.Compress == "" && c.CompressTopK == 0 {
+		if codec, k := DefaultCompress(); codec != "" {
+			c.Compress = codec
+			if c.CompressK == 0 {
+				c.CompressK = k
+			}
+		}
+	}
+	if c.Compress == "none" {
+		c.Compress = ""
+	}
+	switch c.Compress {
+	case "", CodecQInt8:
+	case CodecTopK:
+		if c.CompressK < 0 {
+			panic(fmt.Sprintf("core: CompressK must be non-negative, got %g", c.CompressK))
+		}
+		if c.CompressK == 0 {
+			c.CompressK = 0.05
+		}
+		if c.CompressK >= 1 {
+			c.Compress = ""
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown compression codec %q (want %q or %q)", c.Compress, CodecTopK, CodecQInt8))
 	}
 	if !c.OverlapComm && DefaultOverlap() {
 		c.OverlapComm = true

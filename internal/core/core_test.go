@@ -418,12 +418,13 @@ func TestSASGDErrorFeedbackPreservesGradientMass(t *testing.T) {
 	base := Config{Algo: AlgoSASGD, Learners: 1, Interval: 2, Gamma: 0.1, Batch: 10, Epochs: 2, Seed: 4}
 	dense := Train(base, prob)
 	c := base
-	c.CompressTopK = 0.999999 // keeps every entry (k = len-1 at worst)
+	c.CompressTopK = 0.999999 // k = ⌈0.999999·n⌉ = n: keeps every entry
 	full := Train(c, prob)
-	// k = floor(0.999999·m) drops at most one (the smallest) entry per
-	// aggregation; the trajectories must stay extremely close.
+	// SparsityK rounds up, so a near-1 fraction keeps every entry of
+	// every bucket; with p = 1 the codec's select→encode→decode round
+	// trip is exact and the trajectories must match bitwise.
 	for i := range dense.FinalParams {
-		if math.Abs(dense.FinalParams[i]-full.FinalParams[i]) > 1e-3 {
+		if dense.FinalParams[i] != full.FinalParams[i] {
 			t.Fatalf("near-lossless compression diverged at %d: %g vs %g",
 				i, dense.FinalParams[i], full.FinalParams[i])
 		}

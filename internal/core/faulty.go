@@ -108,9 +108,22 @@ func trainSASGDResilient(cfg Config, prob *Problem) *Result {
 		tk.End(obs.PhaseBcast, bs)
 		xref := append([]float64(nil), params...)
 		gs := make([]float64, m)
-		var residual []float64
-		if cfg.CompressTopK > 0 {
-			residual = make([]float64, m)
+		// Compression engine state (see compress.go). The resilient path
+		// drives the codec synchronously per bucket instead of through the
+		// bucketed worker because group membership can change between
+		// boundaries; values are identical to the engine's async path.
+		var (
+			comp  comm.Compressor
+			csegs []comm.Segment
+			cres  []float64
+			ratio float64
+			acomp [2]float64
+		)
+		if cfg.compressionActive() {
+			comp = cfg.newCompressor()
+			csegs, _ = planBuckets(net.ParamSegments(), cfg.CommBuckets)
+			cres = make([]float64, m)
+			ratio = cfg.CompressK
 		}
 
 		sampler := data.NewEpochSampler(shards[dataPhys].Len(), cfg.Batch, cfg.Seed+int64(dataPhys)*31+7)
@@ -172,7 +185,16 @@ func trainSASGDResilient(cfg Config, prob *Problem) *Result {
 				// per-gradient step unchanged.
 				acfg := cfg
 				acfg.GammaP = cfg.GammaP * float64(origP) / float64(view.Size())
-				aggregate(view.G, view.RankOf(runPhys), acfg, boundary, gs, residual, xref, params, tk)
+				if comp != nil {
+					aggregateCompressedSync(view.G, view.RankOf(runPhys), acfg, csegs, comp, ratio, gs, cres, xref, params, tk)
+					if cfg.adaptActive() {
+						acomp[0], acomp[1] = comp.TakeCapture()
+						view.G.AllreduceTree(view.RankOf(runPhys), acomp[:])
+						ratio = nextRatio(ratio, cfg.CompressK, acomp[0], acomp[1])
+					}
+				} else {
+					aggregate(view.G, view.RankOf(runPhys), acfg, boundary, gs, xref, params, tk)
+				}
 				boundary++
 				if cfg.CheckpointPath != "" && view.RankOf(runPhys) == 0 && boundary%cfg.CheckpointEvery == 0 {
 					live := make([]int, view.Size())

@@ -25,12 +25,19 @@ import (
 // dt·fraction from model.BackwardDoneFractions — which is what makes the
 // overlap show up in simulated epoch time.
 
-// overlapActive reports whether a SASGD run takes the bucketed,
-// backward-overlapped aggregation path: opted in, dense aggregation, and
-// a collective family the bucketed worker implements (tree, ptree, rhd —
-// the ring, like top-k compression, falls back to the serial path).
+// overlapActive reports whether a SASGD run launches buckets from
+// inside the backward pass: opted in, and a collective the bucketed
+// worker implements — the tree family for dense aggregation, or any
+// compression codec (codecs bring their own per-bucket collective, so
+// only the dense ring still falls back to the serial schedule). Note
+// that compression uses the bucketed engine even when this is false;
+// OverlapComm only decides whether buckets launch as backprop finalizes
+// them or all at once at the boundary.
 func (c Config) overlapActive() bool {
-	return c.OverlapComm && c.CompressTopK == 0 && c.Allreduce != AllreduceRing
+	if !c.OverlapComm {
+		return false
+	}
+	return c.compressionActive() || c.Allreduce != AllreduceRing
 }
 
 // overlapAggregator is one learner's bucketed-aggregation state,
@@ -55,6 +62,20 @@ type overlapAggregator struct {
 	// start/dt is the current aggregation batch's simulated span, set by
 	// the training loop from Sim.BatchSpan before the step runs.
 	start, dt float64
+	// Compression-engine state (Config.Compress): comp is the learner's
+	// codec and res its error-feedback residual; both nil for dense
+	// runs. ratio is the working top-k fraction — k0 until CompressAdapt
+	// moves it — updated in lockstep on every learner by adaptK.
+	comp     comm.Compressor
+	res      []float64
+	ratio    float64
+	k0       float64
+	adaptOn  bool
+	adaptBuf [2]float64
+	// overlap records whether buckets launch from inside backward
+	// (overlapActive) or all at once at the boundary via launchAll (the
+	// compressed serial schedule — same engine, same values).
+	overlap bool
 	// tk is the learner's trace track: each bucket's accumulate+submit is
 	// recorded as a bucket_begin span, which nests inside the backward
 	// span on the exported timeline. Nil when untraced.
@@ -79,6 +100,14 @@ func newOverlapAggregator(group *comm.Group, rank int, cfg Config, net *nn.Netwo
 		chunk:    cfg.CommChunk,
 		rhd:      cfg.Allreduce == AllreduceRHD,
 		tk:       tk,
+		overlap:  cfg.overlapActive(),
+	}
+	if cfg.compressionActive() {
+		ov.comp = cfg.newCompressor()
+		ov.res = make([]float64, len(gs))
+		ov.ratio = cfg.CompressK
+		ov.k0 = cfg.CompressK
+		ov.adaptOn = cfg.adaptActive()
 	}
 	for i := range ov.bucketAt {
 		ov.bucketAt[i] = -1
@@ -121,12 +150,39 @@ func (ov *overlapAggregator) onLayerDone(layer int) {
 	if ov.fracs != nil {
 		ready = ov.start + ov.dt*ov.fracs[layer]
 	}
-	if ov.rhd {
+	switch {
+	case ov.comp != nil:
+		ov.handles[bi] = ov.b.BeginCompressed(bi, ov.gs, ov.res, ov.comp, ov.ratio, ready)
+	case ov.rhd:
 		ov.handles[bi] = ov.b.BeginRHD(bi, ov.gs, ready)
-	} else {
+	default:
 		ov.handles[bi] = ov.b.Begin(bi, ov.gs, ov.chunk, ready)
 	}
 	ov.tk.EndArg(obs.PhaseBucketBegin, int32(bi), bs)
+}
+
+// launchAll submits every bucket at once, in descending index order —
+// the same global order the backward hooks produce — for the
+// compressed serial schedule (OverlapComm off). gs must already hold
+// the interval's fully accumulated gradient; ready is the learner's
+// current simulated time.
+func (ov *overlapAggregator) launchAll(ready float64) {
+	for bi := len(ov.segs) - 1; bi >= 0; bi-- {
+		ov.handles[bi] = ov.b.BeginCompressed(bi, ov.gs, ov.res, ov.comp, ov.ratio, ready)
+	}
+}
+
+// adaptK runs one adaptive-sparsity controller step after an
+// aggregation has been applied: allreduce the codec's capture stats so
+// every learner computes the identical next working fraction. No-op
+// unless CompressAdapt is on for a top-k run.
+func (ov *overlapAggregator) adaptK(group *comm.Group, rank int) {
+	if !ov.adaptOn {
+		return
+	}
+	ov.adaptBuf[0], ov.adaptBuf[1] = ov.comp.TakeCapture()
+	group.AllreduceTree(rank, ov.adaptBuf[:])
+	ov.ratio = nextRatio(ov.ratio, ov.k0, ov.adaptBuf[0], ov.adaptBuf[1])
 }
 
 // wait blocks until every bucket launched this interval has completed;

@@ -86,10 +86,13 @@ func TestOverlapBitwiseEquivalenceSweep(t *testing.T) {
 	}
 }
 
-// TestOverlapRingAndCompressionFallBackToSerial: configurations the
-// bucketed worker does not implement must silently take the serial path
-// and produce its exact result.
-func TestOverlapRingAndCompressionFallBackToSerial(t *testing.T) {
+// TestOverlapUnsupportedAndLegacyConfigsMatchSerial: the dense ring is
+// the one algorithm the bucketed worker does not implement — with
+// OverlapComm set it must silently take the serial path and produce its
+// exact result. The legacy CompressTopK knob normalizes into the
+// compression engine (Compress="topk"), which runs through the bucketed
+// worker both ways, so it too must be bitwise stable under the flag.
+func TestOverlapUnsupportedAndLegacyConfigsMatchSerial(t *testing.T) {
 	prob := cifarProblem(24, 12)
 	for _, variant := range []func(*Config){
 		func(c *Config) { c.Allreduce = AllreduceRing },
@@ -110,8 +113,9 @@ func TestOverlapRingAndCompressionFallBackToSerial(t *testing.T) {
 }
 
 // TestCompressTopKFullMatchesDense pins the degenerate "ship everything"
-// compression: CompressTopK = 1.0 must take the dense path (honoring
-// cfg.Allreduce) and match an uncompressed run within 1e-12.
+// compression: CompressTopK = 1.0 normalizes to no codec at all, so it
+// must take the dense path (honoring cfg.Allreduce) and reproduce an
+// uncompressed run bit for bit.
 func TestCompressTopKFullMatchesDense(t *testing.T) {
 	prob := cifarProblem(24, 12)
 	for _, alg := range []AllreduceAlgo{AllreduceTree, AllreducePTree, AllreduceRHD} {
@@ -121,8 +125,9 @@ func TestCompressTopKFullMatchesDense(t *testing.T) {
 		full.CompressTopK = 1.0
 		fr := Train(full, prob)
 		for i := range dense.FinalParams {
-			if d := math.Abs(dense.FinalParams[i] - fr.FinalParams[i]); d > 1e-12 {
-				t.Fatalf("%s: CompressTopK=1.0 diverges from dense at %d (|Δ|=%g)", alg, i, d)
+			if dense.FinalParams[i] != fr.FinalParams[i] {
+				t.Fatalf("%s: CompressTopK=1.0 not bitwise vs dense at %d: %g vs %g",
+					alg, i, dense.FinalParams[i], fr.FinalParams[i])
 			}
 		}
 		// Traffic must also be dense-shaped: the degenerate compression

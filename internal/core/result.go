@@ -47,6 +47,11 @@ type Result struct {
 	// server-based ones.
 	Comm comm.Stats
 
+	// CompressK is the final working top-k fraction of a compressed run:
+	// the configured CompressK unless CompressAdapt moved it. Zero for
+	// dense and qint8 runs.
+	CompressK float64
+
 	// LiveP is the number of learners still live when the run finished:
 	// P minus crashes and evictions. Equal to P except on the
 	// crash-tolerant path.

@@ -43,6 +43,7 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 	rec := newRecorder(prob)
 	var samples atomic.Int64
 	var finalParams []float64
+	var finalRatio float64
 
 	runLearners(p, func(rank int) {
 		net := prob.newReplica(cfg.Seed + int64(rank))
@@ -58,20 +59,14 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 		tk.End(obs.PhaseBcast, bs)
 		xref := append([]float64(nil), params...)
 		gs := make([]float64, m)
-		// Error-feedback residual for top-k compression: the part of gs
-		// that was not shipped last interval, folded back in so no
-		// gradient mass is ever dropped permanently.
-		var residual []float64
-		if cfg.CompressTopK > 0 {
-			residual = make([]float64, m)
-		}
 
-		// Bucketed, backward-overlapped aggregation (see overlap.go): on
-		// the T-th minibatch, gradient buckets are accumulated into gs and
-		// launched into the collective as backprop finalizes them, instead
-		// of serially after the full backward pass.
+		// Bucketed aggregation engine (see overlap.go): created for
+		// backward-overlapped runs AND for every compressed run — the
+		// codecs own the error-feedback residual and run one collective
+		// per bucket, launched either from inside backward (overlap) or
+		// all at once at the boundary (launchAll).
 		var ov *overlapAggregator
-		if cfg.overlapActive() {
+		if cfg.overlapActive() || cfg.compressionActive() {
 			ov = newOverlapAggregator(group, rank, cfg, net, gs, tk)
 		}
 
@@ -82,7 +77,7 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 			for b := 0; b < bpe; b++ {
 				idx := sampler.Next()
 				x, y := shards[rank].Batch(idx)
-				if ov != nil && (step+1)%cfg.Interval == 0 {
+				if ov != nil && ov.overlap && (step+1)%cfg.Interval == 0 {
 					// Overlapped aggregation batch. The batch's simulated
 					// span is drawn up front (same single jitter draw per
 					// batch as ChargeBatch, so the streams stay identical)
@@ -98,7 +93,7 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 					ws := tk.Begin()
 					ov.wait()
 					tk.End(obs.PhaseAggWait, ws)
-					if cfg.AggHook != nil && rank == 0 {
+					if cfg.AggHook != nil && rank == 0 && ov.comp == nil {
 						cfg.AggHook((step+1)/cfg.Interval-1, gs)
 					}
 					// The serial path's local update x ← x − γ·g on this
@@ -109,6 +104,7 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 					tensor.Copy(params, xref)
 					clear(gs)
 					tk.End(obs.PhaseAggApply, as)
+					ov.adaptK(group, rank)
 					samples.Add(int64(len(idx)))
 					step++
 					continue
@@ -125,7 +121,24 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 				}
 				step++
 				if step%cfg.Interval == 0 {
-					aggregate(group, rank, cfg, step/cfg.Interval-1, gs, residual, xref, params, tk)
+					if ov != nil && ov.comp != nil {
+						// Compressed serial schedule: the same bucketed
+						// engine as the overlap path, every bucket launched
+						// at the boundary (values bitwise identical — each
+						// bucket's codec collective is independent).
+						ws := tk.Begin()
+						ov.launchAll(group.Clock(rank).Now())
+						ov.wait()
+						tk.End(obs.PhaseAggWait, ws)
+						as := tk.Begin()
+						tensor.Axpy(-cfg.GammaP, gs, xref)
+						tensor.Copy(params, xref)
+						clear(gs)
+						tk.End(obs.PhaseAggApply, as)
+						ov.adaptK(group, rank)
+					} else {
+						aggregate(group, rank, cfg, step/cfg.Interval-1, gs, xref, params, tk)
+					}
 				}
 			}
 			// Collective epoch boundary: synchronize and let learner 0
@@ -146,6 +159,9 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 		}
 		if rank == 0 {
 			finalParams = append([]float64(nil), params...)
+			if ov != nil && ov.comp != nil && cfg.Compress == CodecTopK {
+				finalRatio = ov.ratio
+			}
 		}
 	})
 
@@ -161,54 +177,20 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 		SimComm:     communication,
 		WordsMoved:  group.WordsSent(),
 		Comm:        group.Stats(),
+		CompressK:   finalRatio,
 		FinalParams: finalParams,
 	}
 }
 
-// aggregate performs one global aggregation: allreduce gs (dense, or
-// top-k sparsified with an error-feedback residual), apply the aggregate
-// to the reference parameters with γp, reset the local replica, clear gs.
-// On the serial path the blocking collective is recorded as the agg_wait
-// span and the γp application as agg_apply, mirroring the overlapped
-// path's spans so profiles compare like with like.
-func aggregate(group *comm.Group, rank int, cfg Config, boundary int, gs, residual, xref, params []float64, tk *obs.Track) {
-	k := len(gs)
-	if cfg.CompressTopK > 0 && cfg.CompressTopK < 1 {
-		k = int(cfg.CompressTopK * float64(len(gs)))
-		if k < 1 {
-			k = 1
-		}
-	}
-	if k < len(gs) {
-		// Fold in last interval's unsent remainder, ship the largest
-		// entries, keep the rest as the next residual.
-		tensor.Axpy(1, residual, gs)
-		sent := comm.TopK(gs, k)
-		copy(residual, gs)
-		for i, j := range sent.Idx {
-			residual[j] -= sent.Val[i]
-		}
-		ws := tk.Begin()
-		sum := group.AllreduceSparseTree(rank, sent)
-		tk.End(obs.PhaseAggWait, ws)
-		// x′ ← x′ − γp·Σ sparsified(gs) ; x ← x′ ; gs ← 0
-		as := tk.Begin()
-		for i, j := range sum.Idx {
-			xref[j] -= cfg.GammaP * sum.Val[i]
-		}
-		tensor.Copy(params, xref)
-		clear(gs)
-		tk.End(obs.PhaseAggApply, as)
-		return
-	}
-	// Dense path — including the degenerate "ship everything" compression
-	// (CompressTopK ≥ 1), which folds the error-feedback residual back in
-	// and falls through to the collective selected by cfg.Allreduce
-	// rather than the sparse tree.
-	if residual != nil {
-		tensor.Axpy(1, residual, gs)
-		clear(residual)
-	}
+// aggregate performs one dense global aggregation: allreduce gs with the
+// configured collective, apply the aggregate to the reference parameters
+// with γp, reset the local replica, clear gs. Compressed runs never come
+// here — they go through the compression engine's bucketed path (see
+// overlap.go and compress.go). On the serial path the blocking
+// collective is recorded as the agg_wait span and the γp application as
+// agg_apply, mirroring the overlapped path's spans so profiles compare
+// like with like.
+func aggregate(group *comm.Group, rank int, cfg Config, boundary int, gs, xref, params []float64, tk *obs.Track) {
 	ws := tk.Begin()
 	switch cfg.Allreduce {
 	case AllreduceRing:

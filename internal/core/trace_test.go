@@ -40,14 +40,16 @@ func TestTraceExportFromRun(t *testing.T) {
 	// apply on aggregation batches, queue dwell + allreduce on the comm
 	// workers, and the initial broadcast. The fault-injection phases
 	// (retry, drop, heartbeat, evict, reform, crash) only fire under a
-	// FaultPlan; the chaos tests cover their presence.
-	faultOnly := map[obs.Phase]bool{
+	// FaultPlan — the chaos tests cover their presence — and compress
+	// only fires in compressed runs (TestTraceSparsePathPhases).
+	elsewhere := map[obs.Phase]bool{
 		obs.PhaseRetry: true, obs.PhaseDrop: true, obs.PhaseHeartbeat: true,
 		obs.PhaseEvict: true, obs.PhaseReform: true, obs.PhaseCrash: true,
+		obs.PhaseCompress: true,
 	}
 	table := tr.ProfileTable("phases")
 	for ph := obs.Phase(0); ph < obs.NumPhases; ph++ {
-		if faultOnly[ph] {
+		if elsewhere[ph] {
 			continue
 		}
 		if !strings.Contains(table, ph.String()) {
@@ -121,7 +123,7 @@ func TestTraceSparsePathPhases(t *testing.T) {
 		Batch: 4, Epochs: 1, Seed: 9, CompressTopK: 0.1, Tracer: tr,
 	}, prob)
 	table := tr.ProfileTable("phases")
-	for _, ph := range []obs.Phase{obs.PhaseAggWait, obs.PhaseAggApply} {
+	for _, ph := range []obs.Phase{obs.PhaseAggWait, obs.PhaseAggApply, obs.PhaseCompress} {
 		if !strings.Contains(table, ph.String()) {
 			t.Errorf("sparse path missing %q spans:\n%s", ph, table)
 		}

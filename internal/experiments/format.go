@@ -8,6 +8,8 @@ func itoa(v int) string { return strconv.Itoa(v) }
 
 func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 4, 64) }
 
+func ftoa1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+
 func ftoa3(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
 
 func itoa64(v int64) string { return strconv.FormatInt(v, 10) }

@@ -57,6 +57,7 @@ const (
 	PhaseEvict                    // membership: a dead rank's eviction
 	PhaseReform                   // membership: survivor group re-formation
 	PhaseCrash                    // membership: a scheduled learner crash
+	PhaseCompress                 // compression codec: residual fold + select/quantize + encode
 	NumPhases                     // number of phases (array sizing)
 )
 
@@ -64,6 +65,7 @@ var phaseNames = [NumPhases]string{
 	"forward", "backward", "local_step", "bucket_begin",
 	"agg_wait", "agg_apply", "queue_dwell", "allreduce", "bcast",
 	"retry", "drop", "heartbeat", "evict", "reform", "crash",
+	"compress",
 }
 
 // String returns the phase's snake_case name (also the span name in the

@@ -34,6 +34,14 @@ echo "==> go test -race -count=2 bucketed/overlap equivalence + stress"
 go test -race -count=2 -run 'Bucketed|Overlap' ./internal/comm/
 go test -race -count=2 -run 'Overlap' ./internal/core/
 
+# The compression engine's schedule-sensitive surface is the per-bucket
+# codec collectives riding the same async worker handoff: run the codec
+# unit/equivalence tests and the core-level compressed-overlap sweep
+# twice under the race detector.
+echo "==> go test -race -count=2 compression engine"
+go test -race -count=2 -run 'Compress|Codec|TopK|QInt8|Selector|Quickselect|Sparsity' ./internal/comm/
+go test -race -count=2 -run 'Compress|FaultyCompressed|Adaptive' ./internal/core/
+
 # The tracing subsystem's whole design is lock-free concurrent recording
 # (per-track ring buffers, atomic counters), so give its concurrency
 # tests the same extra race-detector rounds.
@@ -64,7 +72,8 @@ go test -race -count=2 -run 'Aligned' ./internal/parallel/
 
 # Steady-state allocation pins (the race detector's instrumentation
 # allocates, so these only check out in a plain build): bucketed
-# allreduce rounds must stay zero-alloc on the pooled buffers, the
+# allreduce rounds and full compressed rounds (top-k selection included)
+# must stay zero-alloc on the pooled buffers and codec scratch, the
 # disabled tracing path must stay nil-check-only free (the obs pin also
 # covers the enabled record fast path), and the packed GEMM entry points
 # must run allocation-free off the pooled pack scratch.
