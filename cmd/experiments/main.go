@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset: tables, theorem1, fig1..fig10, averaging, trace, faults, compress (default: all)")
+	only := flag.String("only", "", "comma-separated subset: tables, theorem1, fig1..fig10, averaging, trace, faults, compress, sched (default: all)")
 	epochs := flag.Int("epochs", 0, "override every figure's epoch budget (0 = per-figure default)")
 	seed := flag.Int64("seed", 0, "seed offset for replication runs")
 	replicas := flag.Int("replicas", 3, "seeds averaged per convergence curve (1 = single run)")
@@ -60,6 +60,7 @@ func main() {
 		{"trace", func() interface{} { return experiments.TracedOverlap(opt) }},
 		{"faults", func() interface{} { return experiments.DegradedRuns(opt) }},
 		{"compress", func() interface{} { return experiments.CompressionFrontier(opt) }},
+		{"sched", func() interface{} { return experiments.CommScheduleFrontier(opt) }},
 	}
 
 	want := map[string]bool{}

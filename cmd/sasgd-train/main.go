@@ -39,6 +39,10 @@ func main() {
 	overlap := flag.Bool("overlap", false, "overlap SASGD aggregation with backprop (bucketed allreduce; default also via SASGD_OVERLAP=1)")
 	buckets := flag.Int("buckets", 0, "gradient bucket count for -overlap (0 = one per parameterized layer)")
 	momentum := flag.Float64("momentum", 0, "EAMSGD local momentum (0 = default, negative = none)")
+	tSched := flag.String("t-sched", "", "SASGD aggregation-period scheduler: static, decay (start at T=1, double toward -T) or adaptive (drift-controlled; default also via SASGD_TSCHED)")
+	hierGroups := flag.Int("hier-groups", 0, "two-level SASGD aggregation: partition the learners into this many islands, aggregate intra-island every boundary and cross-island every -t-outer boundaries (<2 = flat; default also via SASGD_HIER_GROUPS)")
+	tOuter := flag.Int("t-outer", 0, "inner boundaries per cross-island exchange with -hier-groups (0 = 4)")
+	delayed := flag.Bool("delayed", false, "delay the global application of each boundary's aggregate by one round so the transfer hides behind the next interval's compute (default also via SASGD_DELAYED=1)")
 	compress := flag.String("compress", "", "SASGD gradient compression codec: topk (error-feedback top-k), qint8 (int8 quantization) or none (default also via SASGD_COMPRESS, e.g. SASGD_COMPRESS=topk:0.05)")
 	compressK := flag.Float64("compress-k", 0, "top-k fraction in (0,1] for -compress topk (0 = 0.05; 1 = dense)")
 	compressAdapt := flag.Bool("compress-adapt", false, "adapt the top-k fraction to the captured gradient-mass fraction (topk only)")
@@ -91,6 +95,10 @@ func main() {
 		CommChunk:     *commChunk,
 		OverlapComm:   *overlap,
 		CommBuckets:   *buckets,
+		TSched:        *tSched,
+		HierGroups:    *hierGroups,
+		TOuter:        *tOuter,
+		DelayedApply:  *delayed,
 		CompressTopK:  *topk,
 		Compress:      *compress,
 		CompressK:     *compressK,
@@ -103,6 +111,12 @@ func main() {
 	case "", "none", core.CodecTopK, core.CodecQInt8:
 	default:
 		fmt.Fprintf(os.Stderr, "sasgd-train: unknown compression codec %q (want topk, qint8 or none)\n", *compress)
+		os.Exit(2)
+	}
+	switch *tSched {
+	case "", core.TSchedStatic, core.TSchedDecay, core.TSchedAdaptive:
+	default:
+		fmt.Fprintf(os.Stderr, "sasgd-train: unknown T-scheduler %q (want static, decay or adaptive)\n", *tSched)
 		os.Exit(2)
 	}
 	if *compressK < 0 || *compressK > 1 {
@@ -220,6 +234,10 @@ func main() {
 		if ov, total := tracer.OverlapFraction(); total > 0 {
 			fmt.Printf("allreduce overlap: %.1f%% of %v hidden behind backward\n",
 				100*float64(ov)/float64(total), total.Round(time.Microsecond))
+		}
+		if hid, total := tracer.HiddenFraction(); total > 0 {
+			fmt.Printf("allreduce hidden: %.1f%% of %v inside compute (forward+backward+step)\n",
+				100*float64(hid)/float64(total), total.Round(time.Microsecond))
 		}
 		if res.Comm.Words > 0 {
 			fmt.Print(res.Comm.String())

@@ -68,6 +68,7 @@ const (
 	opTree = iota // chunked pipelined binomial tree (bitwise tree order)
 	opRHD         // recursive halving/doubling (value-equal, reassociates)
 	opComp        // compression codec collective (Compressor.Allreduce)
+	opHier        // hierarchical inter-island exchange (Hier.AllreduceInter)
 )
 
 // bucketOp is one submitted bucket; ops are preallocated per bucket and
@@ -77,6 +78,7 @@ type bucketOp struct {
 	res   []float64  // compressed ops: the bucket's residual slice
 	comp  Compressor // compressed ops: the learner's codec
 	ratio float64    // compressed ops: sparsity knob
+	hier  *Hier      // hierarchical ops: the inter-island schedule
 	chunk int
 	ready float64
 	kind  int
@@ -101,6 +103,10 @@ type BucketedAllreduce struct {
 	// tk is the rank's comm-worker trace track (nil when the group has
 	// no tracer — every probe is then a nil check).
 	tk *obs.Track
+	// deferred, when set, routes the clock syncs of every op the worker
+	// executes into a DeferSync sink instead of the rank's clock (see
+	// SetDeferSync).
+	deferred *DeferSync
 }
 
 // NewBucketedAllreduce returns the per-rank worker for a fixed bucket
@@ -149,13 +155,21 @@ func (b *BucketedAllreduce) worker() {
 	for op := range b.queue {
 		pick := b.tk.Now()
 		b.tk.Span(obs.PhaseQueueDwell, op.idx, op.subAt, pick)
+		if b.deferred != nil {
+			b.g.setSink(b.rank, b.deferred)
+		}
 		switch op.kind {
 		case opRHD:
 			b.g.AllreduceRHDFrom(b.rank, op.buf, op.ready)
 		case opComp:
 			op.comp.Allreduce(b.g, b.rank, op.buf, op.res, op.ratio, op.ready, b.tk, op.idx)
+		case opHier:
+			op.hier.AllreduceInter(b.rank, op.buf, op.chunk, op.ready)
 		default:
 			b.g.AllreduceTreeChunkedFrom(b.rank, op.buf, op.chunk, op.ready)
+		}
+		if b.deferred != nil {
+			b.g.setSink(b.rank, nil)
 		}
 		st.bucketOps.Add(1)
 		if b.tk != nil {
@@ -211,6 +225,26 @@ func (b *BucketedAllreduce) BeginCompressed(i int, buf, res []float64, comp Comp
 	op.ratio = ratio
 	return b.submit(i, buf, opComp, 0, ready)
 }
+
+// BeginHierInter submits bucket i for a hierarchical inter-island
+// exchange (Hier.AllreduceInter): the delayed-application path uses
+// this to push the outer-boundary aggregate through the worker so the
+// cross-island exchange hides behind the next round's compute. Same
+// ordering contract as Begin; every rank must pass the same Hier.
+func (b *BucketedAllreduce) BeginHierInter(i int, buf []float64, h *Hier, chunkWords int, ready float64) Handle {
+	b.ops[i].hier = h
+	return b.submit(i, buf, opHier, chunkWords, ready)
+}
+
+// SetDeferSync makes the worker capture receive-side clock syncs into d
+// instead of applying them to the rank's simulated clock. The
+// delayed-application engine installs a sink once, before any Begin:
+// its collectives run while the learner's clock is advancing through
+// the NEXT round's compute, and Sync/Advance do not commute, so
+// applying arrivals live would make simulated times depend on the real
+// goroutine interleaving. The learner folds the sink in with
+// DeferSync.Join at each boundary, after waiting on every handle.
+func (b *BucketedAllreduce) SetDeferSync(d *DeferSync) { b.deferred = d }
 
 func (b *BucketedAllreduce) submit(i int, buf []float64, kind, chunkWords int, ready float64) Handle {
 	s := b.segs[i]

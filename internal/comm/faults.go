@@ -544,7 +544,7 @@ func (d *linkDaemon) run() {
 			}
 			if f.dropAttempt(d.pf, d.pt, seq, attempt) {
 				f.drops.Add(1)
-				d.g.charge(d.from, n)
+				d.g.charge(d.from, d.to, n)
 				if tk := f.linkTrack(d.pf, d.pt); tk != nil {
 					now := tk.Now()
 					tk.Span(obs.PhaseDrop, int32(seq), now, now)

@@ -3,6 +3,7 @@ package comm
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sasgd/internal/obs"
@@ -80,6 +81,19 @@ type Group struct {
 	// and WordsSent() — see stats.go for the accounting rules.
 	stats []rankStats
 
+	// islandOf optionally maps each rank to an interconnect island so
+	// deliver can account cross-island traffic. Published atomically
+	// (SetIslands, stats.go) because hierarchy construction — per-rank at
+	// spawn, and per-survivor on a fault re-form — installs the map while
+	// peers are already sending.
+	islandOf atomic.Pointer[[]int]
+
+	// sinks[rank], when non-nil, captures rank's receive-side clock
+	// syncs instead of applying them (see DeferSync). Allocated eagerly
+	// so setSink involves no shared-slice allocation; each cell is
+	// written only by the goroutine currently driving that rank.
+	sinks []*DeferSync
+
 	// tracer is the optional obs tracer (SetTracer); traceOn caches its
 	// presence so untraced receives skip the clock reads entirely.
 	tracer  *obs.Tracer
@@ -115,7 +129,8 @@ func NewSimGroup(p int, clocks []Clock, cost CostModel) *Group {
 	if clocks != nil && len(clocks) != p {
 		panic(fmt.Sprintf("comm: NewSimGroup got %d clocks for %d learners", len(clocks), p))
 	}
-	g := &Group{p: p, clocks: clocks, cost: cost, bar: NewBarrier(p), stats: make([]rankStats, p)}
+	g := &Group{p: p, clocks: clocks, cost: cost, bar: NewBarrier(p),
+		stats: make([]rankStats, p), sinks: make([]*DeferSync, p)}
 	g.mail = make([][]chan message, p)
 	for to := range g.mail {
 		g.mail[to] = make([]chan message, p)
@@ -199,7 +214,7 @@ func (g *Group) deliver(from, to int, m message, ready, extraDelay float64) {
 		m.arrive = depart + g.cost.XferTime(from, to, len(m.data)) + extraDelay
 		g.linkFree[from][to] = m.arrive
 	}
-	g.charge(from, len(m.data))
+	g.charge(from, to, len(m.data))
 	g.mail[to][from] <- m
 }
 
@@ -297,9 +312,54 @@ func (g *Group) recvMsg(to, from int) message {
 		m = <-g.mail[to][from]
 	}
 	if g.clocks != nil {
-		g.clocks[to].Sync(m.arrive)
+		g.syncClock(to, m.arrive)
 	}
 	return m
+}
+
+// syncClock applies a receive-side arrival time to rank to's simulated
+// clock — or, when a DeferSync sink is installed for the rank (the
+// delayed-application comm worker), records it into the sink instead.
+// Routing through the sink is what keeps delayed-mode simulated times
+// deterministic: the comm worker's arrivals would otherwise race the
+// learner's own clock advances, and Sync/Advance do not commute.
+func (g *Group) syncClock(to int, arrive float64) {
+	if s := g.sinks[to]; s != nil {
+		s.capture(arrive)
+		return
+	}
+	g.clocks[to].Sync(arrive)
+}
+
+// setSink installs (or, with nil, removes) rank's DeferSync sink. Must
+// be called by the goroutine currently driving the rank's receives,
+// with no receive in flight.
+func (g *Group) setSink(rank int, d *DeferSync) { g.sinks[rank] = d }
+
+// DeferSync accumulates receive-side clock syncs that must not be
+// applied to the rank's clock yet: the delayed-application engine runs
+// its collectives on the comm worker while the learner's clock advances
+// through the next round's compute, so arrival times are captured here
+// and folded in at the next boundary (Join). Single-writer: only the
+// rank's comm worker captures, and the learner reads/Joins only after
+// waiting on every in-flight handle.
+type DeferSync struct{ mark float64 }
+
+func (d *DeferSync) capture(t float64) {
+	if t > d.mark {
+		d.mark = t
+	}
+}
+
+// Mark returns the latest captured arrival time (0 if none).
+func (d *DeferSync) Mark() float64 { return d.mark }
+
+// Join folds the captured arrivals into clock — charging only the part
+// of the communication that compute did not already hide — and resets
+// the sink for the next round.
+func (d *DeferSync) Join(c Clock) {
+	c.Sync(d.mark)
+	d.mark = 0
 }
 
 // recvReliable is the receive side of the acknowledged-delivery
@@ -332,7 +392,7 @@ func (g *Group) recvReliable(to, from int) message {
 		fab.expect[li] = seq + 1
 		fab.acks[li] <- seq
 		if g.clocks != nil {
-			g.clocks[to].Sync(m.arrive)
+			g.syncClock(to, m.arrive)
 		}
 		return m
 	}

@@ -41,11 +41,14 @@ const (
 	algoSparse             // sparse (index+value) binomial tree
 	algoBcast              // binomial-tree broadcast
 	algoQuant              // quantized (packed int8/int16) binomial tree
+	algoHIntra             // hierarchical intra-island sub-group collectives
+	algoHInter             // hierarchical inter-island exchange (leader tree + island fan-out)
 	numAlgos
 )
 
 var algoNames = [numAlgos]string{
 	"p2p", "tree", "ptree", "rhd", "ring", "sparse", "bcast", "quant",
+	"hintra", "hinter",
 }
 
 // rankStats is one rank's counters. cur is the algorithm label set by
@@ -56,6 +59,8 @@ type rankStats struct {
 	cur   atomic.Uint32
 	words [numAlgos]atomic.Int64
 	msgs  [numAlgos]atomic.Int64
+
+	crossWords atomic.Int64 // words sent across an island boundary (SetIslands)
 
 	mailboxWaitNs atomic.Int64 // recv-side blocking time (tracer-gated)
 
@@ -73,13 +78,38 @@ type rankStats struct {
 // public collective by the goroutine driving the rank.
 func (g *Group) setAlgo(rank int, a algo) { g.stats[rank].cur.Store(uint32(a)) }
 
-// charge accounts one outgoing message from rank under its current
-// algorithm label. Hot path: two uncontended atomic adds.
-func (g *Group) charge(rank, words int) {
-	st := &g.stats[rank]
+// charge accounts one outgoing message from rank `from` to rank `to`
+// under from's current algorithm label. Hot path: two uncontended
+// atomic adds (three when an island map marks the transfer as crossing
+// an island boundary).
+func (g *Group) charge(from, to, words int) {
+	st := &g.stats[from]
 	a := st.cur.Load()
 	st.words[a].Add(int64(words))
 	st.msgs[a].Add(1)
+	if m := g.islandOf.Load(); m != nil && (*m)[from] != (*m)[to] {
+		st.crossWords.Add(int64(words))
+	}
+}
+
+// SetIslands attaches a rank→island map used to account cross-island
+// traffic (Stats.CrossWords). islandOf must have one entry per rank;
+// nil detaches the map. The map is copied and published atomically, so
+// installation may race with in-flight sends (hierarchy construction
+// happens per-rank at spawn and per-survivor on a fault re-form, while
+// peers are already charging traffic) — a send observes either the old
+// or the new map, never a torn one.
+func (g *Group) SetIslands(islandOf []int) {
+	if islandOf == nil {
+		g.islandOf.Store(nil)
+		return
+	}
+	if len(islandOf) != g.p {
+		panic(fmt.Sprintf("comm: SetIslands: map covers %d ranks, group has %d", len(islandOf), g.p))
+	}
+	m := make([]int, g.p)
+	copy(m, islandOf)
+	g.islandOf.Store(&m)
 }
 
 // SetTracer attaches an obs tracer to the group: bucketed comm workers
@@ -129,6 +159,11 @@ type Stats struct {
 	Messages int64 // total point-to-point messages
 	Bytes    int64 // Words at the 8-byte float64 wire representation
 
+	// CrossWords is the subset of Words whose sender and receiver sit in
+	// different interconnect islands (zero unless SetIslands attached a
+	// map) — the traffic the hierarchical schedule tries to minimize.
+	CrossWords int64
+
 	PerAlgo map[string]AlgoStats // traffic by collective algorithm (zero rows omitted)
 
 	MailboxWait time.Duration // total recv-side blocking (tracer-gated; 0 untraced)
@@ -169,6 +204,7 @@ func (g *Group) Stats() Stats {
 			s.Words += w
 			s.Messages += m
 		}
+		s.CrossWords += st.crossWords.Load()
 		s.MailboxWait += time.Duration(st.mailboxWaitNs.Load())
 		s.BucketOps += st.bucketOps.Load()
 		s.QueueDwell += time.Duration(st.queueDwellNs.Load())
@@ -205,6 +241,7 @@ func (s *Stats) MergeTraffic(o Stats) {
 	s.Words += o.Words
 	s.Messages += o.Messages
 	s.Bytes += o.Bytes
+	s.CrossWords += o.CrossWords
 	for name, as := range o.PerAlgo {
 		if s.PerAlgo == nil {
 			s.PerAlgo = make(map[string]AlgoStats, len(o.PerAlgo))
@@ -244,6 +281,7 @@ func (g *Group) ResetStats() {
 			st.words[a].Store(0)
 			st.msgs[a].Store(0)
 		}
+		st.crossWords.Store(0)
 		st.mailboxWaitNs.Store(0)
 		st.bucketOps.Store(0)
 		st.queueDwellNs.Store(0)
@@ -270,6 +308,9 @@ func (s Stats) String() string {
 	}
 	tab.AddRow("total", fmt.Sprint(s.Words), fmt.Sprint(s.Messages), fmt.Sprint(s.Bytes))
 	out := tab.String()
+	if s.CrossWords > 0 {
+		out += fmt.Sprintf("cross-island words: %d\n", s.CrossWords)
+	}
 	if s.MailboxWait > 0 {
 		out += fmt.Sprintf("mailbox wait: %v\n", s.MailboxWait)
 	}

@@ -42,6 +42,7 @@ type checkpointMeta struct {
 	GammaP   float64
 	Step     int   // local steps (= sampler draws) completed per learner
 	Boundary int   // aggregation boundaries completed
+	CurT     int   // T-scheduler period in effect (0 in pre-scheduler checkpoints)
 	Live     []int // data-physical ranks live when the checkpoint was written
 }
 

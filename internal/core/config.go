@@ -88,6 +88,33 @@ func DefaultCompress() (codec string, k float64) {
 }
 
 var (
+	schedOnce           sync.Once
+	defaultTSched       string
+	defaultHierGroups   int
+	defaultDelayedApply bool
+)
+
+// DefaultSched returns the communication-schedule defaults requested by
+// the SASGD_TSCHED, SASGD_HIER_GROUPS and SASGD_DELAYED environment
+// variables: a T-scheduler mode ("static", "decay" or "adaptive"), a
+// hierarchical group count, and whether the global gradient is applied
+// one boundary late. Empty/unset leaves each Config zero value in
+// charge, mirroring the SASGD_OVERLAP precedence.
+func DefaultSched() (tsched string, hierGroups int, delayed bool) {
+	schedOnce.Do(func() {
+		defaultTSched = os.Getenv("SASGD_TSCHED")
+		if s := os.Getenv("SASGD_HIER_GROUPS"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				defaultHierGroups = v
+			}
+		}
+		s := os.Getenv("SASGD_DELAYED")
+		defaultDelayedApply = s == "1" || s == "true"
+	})
+	return defaultTSched, defaultHierGroups, defaultDelayedApply
+}
+
+var (
 	faultOnce        sync.Once
 	defaultFaultSpec string
 )
@@ -160,6 +187,13 @@ const (
 const (
 	CodecTopK  = "topk"  // error-feedback top-k sparsification
 	CodecQInt8 = "qint8" // int8 quantization with a shared per-bucket scale
+)
+
+// T-scheduler modes for Config.TSched (see schedule.go).
+const (
+	TSchedStatic   = "static"   // fixed T = Interval (the paper's schedule, via the scheduled path)
+	TSchedDecay    = "decay"    // T starts at 1 and doubles every tDecayEvery boundaries up to Interval
+	TSchedAdaptive = "adaptive" // T widens/narrows in lockstep from the allreduced replica-drift norm
 )
 
 // Config parameterizes a training run. The field names follow the
@@ -256,6 +290,53 @@ type Config struct {
 	// CodecTopK with CompressK set to it, and values ≥ 1 run the dense
 	// path. Ignored when Compress is set explicitly.
 	CompressTopK float64
+
+	// TSched selects the communication-period scheduler for SASGD (see
+	// schedule.go): "" runs the legacy fixed-T loop untouched;
+	// TSchedStatic runs the same fixed T through the scheduled path
+	// (bitwise identical — the degenerate pin); TSchedDecay starts at
+	// T = 1 and doubles the period every tDecayEvery boundaries up to
+	// Interval (Stich's communicate-early schedule); TSchedAdaptive
+	// starts at Interval and widens/narrows the period from the
+	// allreduced replica-drift norm ‖x_i − x̄‖, in lockstep, so runs
+	// stay deterministic. The SASGD_TSCHED environment variable supplies
+	// the default. The scheduled path ignores OverlapComm (delayed
+	// application is its stronger replacement: it hides communication
+	// behind the whole next round, not one backward pass).
+	TSched string
+
+	// HierGroups ≥ 2 partitions the learners into that many contiguous
+	// islands (comm.BlockIslands — matching netsim's switch islands) and
+	// runs two-level aggregation: an intra-island allreduce at every
+	// communication boundary, and the cross-island exchange only every
+	// TOuter boundaries. Inside an island the reference moves at the
+	// island-local model-averaging rate γp·p/q (q = island size); the
+	// globally consistent reference absorbs every island's accumulated
+	// aggregate at each outer exchange, so each gradient's final weight
+	// in the global model is exactly γp. 0/1 (default) is flat
+	// aggregation. The SASGD_HIER_GROUPS environment variable supplies
+	// the default.
+	HierGroups int
+
+	// TOuter is the number of communication boundaries between
+	// cross-island exchanges when HierGroups ≥ 2 (default 4).
+	TOuter int
+
+	// DelayedApply applies each boundary's global aggregate one boundary
+	// LATE (DaSGD): the allreduce is launched through the bucketed comm
+	// worker at boundary k and its result applied at boundary k+1, so
+	// the entire exchange hides behind the next round's compute instead
+	// of one backward pass. The one-round shift changes the trajectory
+	// (the k-th aggregate reflects boundary k's gradients but lands at
+	// k+1); a run with a single boundary, and the first aggregate of any
+	// run, are bitwise identical to eager application. Under a
+	// hierarchical schedule only the outer (cross-island) exchange is
+	// delayed — the intra-island allreduce is cheap and stays eager.
+	// Requires a tree-family or compressed collective (ring has no
+	// bucketed form; configuring both panics rather than silently
+	// un-delaying). The SASGD_DELAYED environment variable ("1"/"true")
+	// supplies the default.
+	DelayedApply bool
 
 	// VirtualTime serializes the asynchronous algorithms' learner steps
 	// in virtual-clock order (see vtime.go), making Downpour, EAMSGD and
@@ -431,7 +512,63 @@ func (c Config) withDefaults() Config {
 	if (c.Faults != nil || c.ResumeFrom != "") && c.Algo != AlgoSASGD && c.Algo != "" {
 		panic(fmt.Sprintf("core: fault injection and checkpoint resume support SASGD only, got algo %q", c.Algo))
 	}
+	// Communication-schedule knobs: env defaults, then validation.
+	envT, envG, envD := DefaultSched()
+	if c.TSched == "" {
+		c.TSched = envT
+	}
+	if c.HierGroups == 0 {
+		c.HierGroups = envG
+	}
+	if !c.DelayedApply && envD {
+		c.DelayedApply = true
+	}
+	switch c.TSched {
+	case "", TSchedStatic, TSchedDecay, TSchedAdaptive:
+	default:
+		panic(fmt.Sprintf("core: unknown T-scheduler %q (want %q, %q or %q)",
+			c.TSched, TSchedStatic, TSchedDecay, TSchedAdaptive))
+	}
+	if c.HierGroups < 0 {
+		c.HierGroups = 0
+	}
+	if c.HierGroups > c.Learners {
+		c.HierGroups = c.Learners
+	}
+	if c.TOuter <= 0 {
+		c.TOuter = 4
+	}
+	if c.schedActive() {
+		if c.Algo != AlgoSASGD && c.Algo != "" {
+			panic(fmt.Sprintf("core: the communication scheduler supports SASGD only, got algo %q", c.Algo))
+		}
+		if c.DelayedApply && c.Allreduce == AllreduceRing {
+			// Delay changes the algorithm, so it must never be silently
+			// dropped the way overlap falls back for ring.
+			panic("core: DelayedApply needs a bucketed collective (tree/ptree/rhd or a codec); ring has none")
+		}
+		if (c.DelayedApply || c.HierGroups >= 2) && (c.CheckpointPath != "" || c.ResumeFrom != "") {
+			// A boundary checkpoint relies on the replica==reference,
+			// gs==0 invariant, which a pending delayed aggregate or a
+			// mid-outer-round island reference breaks.
+			panic("core: checkpointing composes with the T-scheduler but not with DelayedApply or HierGroups")
+		}
+		if c.Faults != nil && c.Compress != "" && (c.DelayedApply || c.HierGroups >= 2) {
+			// Under fault injection the codecs compose with the
+			// T-scheduler only; the membership-aware hierarchical and
+			// delayed boundaries run dense.
+			panic("core: under fault injection, compression composes with TSched but not with DelayedApply or HierGroups")
+		}
+	}
 	return c
+}
+
+// schedActive reports whether the run uses the scheduled SASGD path
+// (any of the three communication-schedule policies). An explicit
+// TSchedStatic forces the scheduled path even though it computes the
+// same schedule as the legacy loop — that is the degenerate pin.
+func (c Config) schedActive() bool {
+	return c.TSched != "" || c.HierGroups >= 2 || c.DelayedApply
 }
 
 // ModelFactory builds one learner's model replica. Each learner calls it

@@ -39,6 +39,22 @@ import (
 // falls back to the serial path (bucketed sends assume a fixed group),
 // and evaluation/recording is done by the current view's virtual rank 0
 // (which moves if rank 0 crashes).
+//
+// The communication-schedule policies (schedule.go, delayed.go) compose
+// with fault handling as follows. The T-scheduler runs on the live view
+// — its adaptive drift statistic is allreduced over the survivors — and
+// the current period is checkpointed (CurT) so an adaptive resume
+// continues the schedule. The hierarchy is defined on run-physical
+// ranks (the simulated topology does not change when a rank dies) and
+// re-partitioned over the survivors on every view change: the island
+// working references w are averaged over the new view — every applied
+// gradient is carried by some island's w, so the average IS the global
+// mean model — the un-exchanged island accumulator and any pending
+// outer aggregate (whose gradients w already carries island-locally)
+// are dropped, and the global reference rebases onto the average.
+// Delayed application under faults defers only the APPLICATION: the
+// exchange itself runs synchronously at its boundary, because a launch
+// left in flight across a membership change would address a dead group.
 func trainSASGDResilient(cfg Config, prob *Problem) *Result {
 	p := cfg.Learners
 	plan := cfg.Faults
@@ -83,6 +99,7 @@ func trainSASGDResilient(cfg Config, prob *Problem) *Result {
 	rec := newRecorder(prob)
 	var samples atomic.Int64
 	var finalParams []float64
+	var finalT int
 
 	runLearners(p, func(runPhys int) {
 		dataPhys := dataRanks[runPhys]
@@ -126,6 +143,46 @@ func trainSASGDResilient(cfg Config, prob *Problem) *Result {
 			ratio = cfg.CompressK
 		}
 
+		sched := newTScheduler(cfg)
+		if rs != nil {
+			sched.restore(startBoundary, rs.meta.CurT)
+		}
+		// Hierarchical state: islands keyed by run-physical rank, the
+		// working reference w and island accumulator hacc (see delayed.go
+		// for the ledger discipline), re-partitioned on view changes.
+		var (
+			baseIsl   []int
+			hier      *comm.Hier
+			hierVer   int
+			w, hacc   []float64
+			outerLeft int
+			hchunk    int
+		)
+		if cfg.HierGroups >= 2 {
+			baseIsl = comm.BlockIslands(p, cfg.HierGroups)
+			hier = hierForView(view, baseIsl)
+			hierVer = view.Version
+			w = append([]float64(nil), xref...)
+			hacc = make([]float64, m)
+			outerLeft = cfg.TOuter
+			hchunk = cfg.CommChunk
+			if cfg.Allreduce != AllreducePTree {
+				hchunk = m
+			}
+		}
+		// Delayed-application state: pend holds a completed global
+		// aggregate awaiting its next-boundary application, with the
+		// effective rate frozen at exchange time (membership may shrink
+		// before it lands).
+		var (
+			pend   []float64
+			pendG  float64
+			pendOn bool
+		)
+		if cfg.DelayedApply {
+			pend = make([]float64, m)
+		}
+
 		sampler := data.NewEpochSampler(shards[dataPhys].Len(), cfg.Batch, cfg.Seed+int64(dataPhys)*31+7)
 		sampler.Skip(startStep)
 		if cfg.Sim != nil {
@@ -140,6 +197,7 @@ func trainSASGDResilient(cfg Config, prob *Problem) *Result {
 		var lastLoss float64
 		step := startStep
 		boundary := startBoundary
+		next := startStep + sched.T()
 		sync := 0
 		startEpoch := startStep / bpe
 		for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
@@ -164,7 +222,7 @@ func trainSASGDResilient(cfg Config, prob *Problem) *Result {
 					time.Sleep(slowSleep)
 				}
 				step++
-				if step%cfg.Interval != 0 {
+				if step != next {
 					continue
 				}
 				if crashAt >= 0 && boundary == crashAt {
@@ -179,23 +237,159 @@ func trainSASGDResilient(cfg Config, prob *Problem) *Result {
 					return // fenced: evicted as a presumed-dead straggler
 				}
 				view = v
+				vr := view.RankOf(runPhys)
 				// γp rescale: the aggregated gs now sums |live| learners'
 				// gradients instead of OrigP, so the per-learner weight γp
 				// is scaled by OrigP/|live| to keep the effective
 				// per-gradient step unchanged.
 				acfg := cfg
 				acfg.GammaP = cfg.GammaP * float64(origP) / float64(view.Size())
-				if comp != nil {
-					aggregateCompressedSync(view.G, view.RankOf(runPhys), acfg, csegs, comp, ratio, gs, cres, xref, params, tk)
+				if hier != nil && view.Version != hierVer {
+					// Membership changed: globalize the island ledgers
+					// before re-partitioning. Averaging the survivors' w
+					// yields the global mean model (every applied gradient
+					// lives in some w); hacc and a pending outer aggregate
+					// duplicate information w already carries and drop.
+					view.G.AllreduceTree(vr, w)
+					inv := 1.0 / float64(view.Size())
+					for i := range w {
+						w[i] *= inv
+					}
+					copy(xref, w)
+					clear(hacc)
+					pendOn = false
+					outerLeft = cfg.TOuter
+					hier = hierForView(view, baseIsl)
+					hierVer = view.Version
+				}
+				switch {
+				case hier != nil:
+					ws := tk.Begin()
+					hier.AllreduceIntra(vr, gs, hchunk, view.G.Clock(vr).Now())
+					tk.End(obs.PhaseAggWait, ws)
+					as := tk.Begin()
+					tensor.Axpy(1, gs, hacc)
+					// Island-local model averaging over the island's LIVE
+					// members, at the original per-gradient weight.
+					tensor.Axpy(-cfg.GammaP*float64(origP)/float64(hier.IslandSize(vr)), gs, w)
+					tk.End(obs.PhaseAggApply, as)
+					outerLeft--
+					if outerLeft == 0 {
+						outerLeft = cfg.TOuter
+						ws = tk.Begin()
+						if cfg.DelayedApply {
+							// Deferred application: fold in the PREVIOUS
+							// outer aggregate, rebase w, then exchange this
+							// round's — synchronously, but applied only at
+							// the next outer boundary.
+							tk.End(obs.PhaseAggWait, ws)
+							as = tk.Begin()
+							if pendOn {
+								tensor.Axpy(-pendG, pend, xref)
+							}
+							tensor.Copy(w, xref)
+							tensor.Copy(pend, hacc)
+							tk.End(obs.PhaseAggApply, as)
+							ws = tk.Begin()
+							hier.AllreduceInter(vr, pend, hchunk, view.G.Clock(vr).Now())
+							tk.End(obs.PhaseAggWait, ws)
+							pendG = acfg.GammaP
+							pendOn = true
+						} else {
+							hier.AllreduceInter(vr, hacc, hchunk, view.G.Clock(vr).Now())
+							tk.End(obs.PhaseAggWait, ws)
+							as = tk.Begin()
+							tensor.Axpy(-acfg.GammaP, hacc, xref)
+							tensor.Copy(w, xref)
+							tk.End(obs.PhaseAggApply, as)
+						}
+						clear(hacc)
+					}
+					as = tk.Begin()
+					sched.advance(view.G, vr, view.Size(), params, w)
+					tensor.Copy(params, w)
+					clear(gs)
+					tk.End(obs.PhaseAggApply, as)
+				case comp != nil:
+					if cfg.schedActive() {
+						// Inline aggregateCompressedSync with the drift step
+						// spliced between apply and reset, as in flatEager.
+						ws := tk.Begin()
+						ready := view.G.Clock(vr).Now()
+						for bi := len(csegs) - 1; bi >= 0; bi-- {
+							s := csegs[bi]
+							comp.Allreduce(view.G, vr, gs[s.Off:s.Off+s.Len], cres[s.Off:s.Off+s.Len], ratio, ready, tk, int32(bi))
+						}
+						tk.End(obs.PhaseAggWait, ws)
+						as := tk.Begin()
+						tensor.Axpy(-acfg.GammaP, gs, xref)
+						sched.advance(view.G, vr, view.Size(), params, xref)
+						tensor.Copy(params, xref)
+						clear(gs)
+						tk.End(obs.PhaseAggApply, as)
+					} else {
+						aggregateCompressedSync(view.G, vr, acfg, csegs, comp, ratio, gs, cres, xref, params, tk)
+					}
 					if cfg.adaptActive() {
 						acomp[0], acomp[1] = comp.TakeCapture()
-						view.G.AllreduceTree(view.RankOf(runPhys), acomp[:])
+						view.G.AllreduceTree(vr, acomp[:])
 						ratio = nextRatio(ratio, cfg.CompressK, acomp[0], acomp[1])
 					}
-				} else {
-					aggregate(view.G, view.RankOf(runPhys), acfg, boundary, gs, xref, params, tk)
+				case cfg.DelayedApply:
+					// Flat delayed under faults: exchange now, apply at the
+					// next boundary with the rate frozen at exchange time.
+					ws := tk.Begin()
+					switch cfg.Allreduce {
+					case AllreduceRing:
+						view.G.AllreduceRing(vr, gs)
+					case AllreducePTree:
+						view.G.AllreduceTreeChunked(vr, gs, cfg.CommChunk)
+					case AllreduceRHD:
+						view.G.AllreduceRHD(vr, gs)
+					default:
+						view.G.AllreduceTree(vr, gs)
+					}
+					tk.End(obs.PhaseAggWait, ws)
+					as := tk.Begin()
+					if pendOn {
+						tensor.Axpy(-pendG, pend, xref)
+					}
+					sched.advance(view.G, vr, view.Size(), params, xref)
+					tensor.Copy(params, xref)
+					gs, pend = pend, gs
+					pendG = acfg.GammaP
+					pendOn = true
+					clear(gs)
+					tk.End(obs.PhaseAggApply, as)
+				case cfg.schedActive():
+					// Dense eager with the drift step spliced in, exactly
+					// flatEager's operation order.
+					ws := tk.Begin()
+					switch cfg.Allreduce {
+					case AllreduceRing:
+						view.G.AllreduceRing(vr, gs)
+					case AllreducePTree:
+						view.G.AllreduceTreeChunked(vr, gs, cfg.CommChunk)
+					case AllreduceRHD:
+						view.G.AllreduceRHD(vr, gs)
+					default:
+						view.G.AllreduceTree(vr, gs)
+					}
+					tk.End(obs.PhaseAggWait, ws)
+					if cfg.AggHook != nil && vr == 0 {
+						cfg.AggHook(boundary, gs)
+					}
+					as := tk.Begin()
+					tensor.Axpy(-acfg.GammaP, gs, xref)
+					sched.advance(view.G, vr, view.Size(), params, xref)
+					tensor.Copy(params, xref)
+					clear(gs)
+					tk.End(obs.PhaseAggApply, as)
+				default:
+					aggregate(view.G, vr, acfg, boundary, gs, xref, params, tk)
 				}
 				boundary++
+				next = step + sched.T()
 				if cfg.CheckpointPath != "" && view.RankOf(runPhys) == 0 && boundary%cfg.CheckpointEvery == 0 {
 					live := make([]int, view.Size())
 					for vr, pr := range view.Phys {
@@ -209,12 +403,28 @@ func trainSASGDResilient(cfg Config, prob *Problem) *Result {
 						GammaP:   cfg.GammaP,
 						Step:     step,
 						Boundary: boundary,
+						CurT:     sched.T(),
 						Live:     live,
 					}
 					if err := writeCheckpoint(checkpointFile(cfg.CheckpointPath, boundary), meta, xref); err != nil {
 						panic(err)
 					}
 				}
+			}
+			if epoch == cfg.Epochs-1 && pendOn {
+				// Flush the pending delayed aggregate before the final
+				// evaluation; it is already complete (the exchange was
+				// synchronous), so this is pure local arithmetic.
+				as := tk.Begin()
+				tensor.Axpy(-pendG, pend, xref)
+				if hier != nil {
+					tensor.Copy(w, xref)
+					tensor.Copy(params, w)
+				} else {
+					tensor.Copy(params, xref)
+				}
+				pendOn = false
+				tk.End(obs.PhaseAggApply, as)
 			}
 			// Collective epoch boundary: synchronize, let the current
 			// view's virtual rank 0 record accuracy, synchronize again so
@@ -241,6 +451,7 @@ func trainSASGDResilient(cfg Config, prob *Problem) *Result {
 		}
 		if view.RankOf(runPhys) == 0 {
 			finalParams = append([]float64(nil), params...)
+			finalT = sched.T()
 		}
 	})
 
@@ -251,6 +462,7 @@ func trainSASGDResilient(cfg Config, prob *Problem) *Result {
 		Algo:        AlgoSASGD,
 		P:           p,
 		T:           cfg.Interval,
+		FinalT:      finalT,
 		Curve:       rec.points(),
 		Samples:     samples.Load(),
 		SimTime:     simTime,
@@ -261,6 +473,19 @@ func trainSASGDResilient(cfg Config, prob *Problem) *Result {
 		LiveP:       res.Current().Size(),
 		FinalParams: finalParams,
 	}
+}
+
+// hierForView re-partitions the hierarchy onto a membership view: each
+// virtual rank keeps the island its run-physical rank belongs to in the
+// base (topology-derived) partition, so survivors regroup with their
+// physical neighbors and emptied islands disappear (NewHierOf
+// normalizes island ids by first appearance).
+func hierForView(v comm.View, baseIslandOf []int) *comm.Hier {
+	isl := make([]int, v.Size())
+	for vr, pr := range v.Phys {
+		isl[vr] = baseIslandOf[pr]
+	}
+	return comm.NewHierOf(v.G, isl)
 }
 
 // checkpointFile resolves the configured checkpoint path for a

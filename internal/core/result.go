@@ -15,8 +15,12 @@ import (
 type Result struct {
 	Algo  Algorithm
 	P     int // learners
-	T     int // aggregation interval
-	Curve metrics.Curve
+	T     int // aggregation interval (configured; the T-scheduler's start)
+	// FinalT is the communication period in effect when a scheduled run
+	// finished — equal to T unless a decay or adaptive T-scheduler moved
+	// it. Zero for runs outside the scheduled path.
+	FinalT int
+	Curve  metrics.Curve
 	// FinalTrain/FinalTest are the last recorded accuracies.
 	FinalTrain float64
 	FinalTest  float64

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"testing"
+
+	"sasgd/internal/comm"
+	"sasgd/internal/netsim"
+)
+
+// TestDecayT pins the decay schedule: T_b = min(T0, 2^⌊b/tDecayEvery⌋),
+// communication-heavy at the start.
+func TestDecayT(t *testing.T) {
+	want := []int{1, 1, 2, 2, 4, 4, 8, 8, 8, 8} // t0 = 8, tDecayEvery = 2
+	for b, w := range want {
+		if got := decayT(b, 8); got != w {
+			t.Fatalf("decayT(%d, 8) = %d, want %d", b, got, w)
+		}
+	}
+	if got := decayT(100, 6); got != 6 {
+		t.Fatalf("decayT(100, 6) = %d, want cap 6", got)
+	}
+}
+
+// TestStaticSchedBitwiseLegacy is the tentpole's central degenerate pin:
+// TSchedStatic routes the run through the scheduled path but computes
+// the identical schedule, so final parameters, accuracy curve, words on
+// the wire and simulated time must all be bitwise/exactly what the
+// legacy loop produces — dense, compressed, and under the fabric
+// simulation.
+func TestStaticSchedBitwiseLegacy(t *testing.T) {
+	prob := tinyProblem(48, 24, 5)
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"dense", func(c *Config) {}},
+		{"ptree", func(c *Config) { c.Allreduce = AllreducePTree; c.CommChunk = 16 }},
+		{"rhd", func(c *Config) { c.Allreduce = AllreduceRHD }},
+		{"topk", func(c *Config) { c.Compress = CodecTopK; c.CompressK = 0.1 }},
+		{"qint8", func(c *Config) { c.Compress = CodecQInt8 }},
+		{"adaptk", func(c *Config) { c.Compress = CodecTopK; c.CompressK = 0.1; c.CompressAdapt = true }},
+	} {
+		for _, p := range []int{1, 2, 3, 5, 8} {
+			base := Config{
+				Algo: AlgoSASGD, Learners: p, Interval: 2, Gamma: 0.05,
+				Batch: 4, Epochs: 2, Seed: 9,
+			}
+			tc.mut(&base)
+			legacy := Train(base, prob)
+
+			cfg := base
+			cfg.TSched = TSchedStatic
+			sched := Train(cfg, prob)
+
+			if len(sched.FinalParams) != len(legacy.FinalParams) {
+				t.Fatalf("%s p=%d: param count mismatch", tc.name, p)
+			}
+			for i := range legacy.FinalParams {
+				if legacy.FinalParams[i] != sched.FinalParams[i] {
+					t.Fatalf("%s p=%d: scheduled path not bitwise at %d: %g vs %g",
+						tc.name, p, i, legacy.FinalParams[i], sched.FinalParams[i])
+				}
+			}
+			if legacy.WordsMoved != sched.WordsMoved {
+				t.Errorf("%s p=%d: legacy moved %d words, scheduled %d",
+					tc.name, p, legacy.WordsMoved, sched.WordsMoved)
+			}
+			if sched.FinalT != base.Interval {
+				t.Errorf("%s p=%d: FinalT = %d, want %d", tc.name, p, sched.FinalT, base.Interval)
+			}
+		}
+	}
+}
+
+// TestStaticSchedBitwiseLegacySim repeats the pin under the fabric
+// simulation: the scheduled path must reproduce the legacy simulated
+// time exactly, not just the values.
+func TestStaticSchedBitwiseLegacySim(t *testing.T) {
+	prob := tinyProblem(48, 24, 6)
+	base := Config{
+		Algo: AlgoSASGD, Learners: 4, Interval: 2, Gamma: 0.05,
+		Batch: 4, Epochs: 2, Seed: 10,
+		Sim: netsim.New(4, netsim.DefaultConfig()), FlopsPerSample: 1e8,
+	}
+	legacy := Train(base, prob)
+	cfg := base
+	cfg.Sim = netsim.New(4, netsim.DefaultConfig())
+	cfg.TSched = TSchedStatic
+	sched := Train(cfg, prob)
+	for i := range legacy.FinalParams {
+		if legacy.FinalParams[i] != sched.FinalParams[i] {
+			t.Fatalf("sim: scheduled path not bitwise at %d", i)
+		}
+	}
+	if legacy.SimTime != sched.SimTime {
+		t.Errorf("sim time: legacy %g, scheduled %g", legacy.SimTime, sched.SimTime)
+	}
+}
+
+// TestAdaptiveTDeterminism: the adaptive controller bases every decision
+// on allreduced quantities, so two identical runs must agree bitwise —
+// across learner counts and worker budgets (goroutine interleaving must
+// not leak into the schedule).
+func TestAdaptiveTDeterminism(t *testing.T) {
+	prob := tinyProblem(48, 24, 7)
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		for _, workers := range []int{1, 2} {
+			cfg := Config{
+				Algo: AlgoSASGD, Learners: p, Interval: 4, Gamma: 0.05,
+				Batch: 4, Epochs: 3, Seed: 13,
+				TSched: TSchedAdaptive, Workers: workers,
+			}
+			a := Train(cfg, prob)
+			b := Train(cfg, prob)
+			if a.FinalT != b.FinalT {
+				t.Fatalf("p=%d w=%d: FinalT %d vs %d across identical runs", p, workers, a.FinalT, b.FinalT)
+			}
+			for i := range a.FinalParams {
+				if a.FinalParams[i] != b.FinalParams[i] {
+					t.Fatalf("p=%d w=%d: adaptive run not reproducible at %d", p, workers, i)
+				}
+			}
+			lo, hi := 1, cfg.Interval*tAdaptSpan
+			if cfg.Interval/tAdaptSpan > lo {
+				lo = cfg.Interval / tAdaptSpan
+			}
+			if a.FinalT < lo || a.FinalT > hi {
+				t.Errorf("p=%d: FinalT %d outside [%d, %d]", p, a.FinalT, lo, hi)
+			}
+		}
+	}
+}
+
+// TestDecaySchedCommunicatesMore: decay starts at T=1, so it must hit
+// strictly more boundaries (and move strictly more words) than the
+// static schedule at the same Interval.
+func TestDecaySchedCommunicatesMore(t *testing.T) {
+	prob := tinyProblem(64, 24, 8)
+	base := Config{
+		Algo: AlgoSASGD, Learners: 4, Interval: 8, Gamma: 0.05,
+		Batch: 4, Epochs: 4, Seed: 17,
+	}
+	static := Train(base, prob)
+	cfg := base
+	cfg.TSched = TSchedDecay
+	decay := Train(cfg, prob)
+	if decay.WordsMoved <= static.WordsMoved {
+		t.Errorf("decay moved %d words, static %d — decay should communicate more early",
+			decay.WordsMoved, static.WordsMoved)
+	}
+	if decay.FinalT != base.Interval {
+		t.Errorf("decay FinalT = %d, want cap %d", decay.FinalT, base.Interval)
+	}
+}
+
+// TestSchedulerRestore pins checkpoint-resume semantics for the
+// scheduler state.
+func TestSchedulerRestore(t *testing.T) {
+	s := newTScheduler(Config{Interval: 8, TSched: TSchedDecay})
+	s.restore(5, 0)
+	if s.T() != 4 {
+		t.Errorf("decay restore(5): T = %d, want 4", s.T())
+	}
+	s = newTScheduler(Config{Interval: 8, TSched: TSchedAdaptive})
+	s.restore(3, 16)
+	if s.T() != 16 {
+		t.Errorf("adaptive restore(3, 16): T = %d, want 16", s.T())
+	}
+	s = newTScheduler(Config{Interval: 8, TSched: TSchedAdaptive})
+	s.restore(3, 0) // pre-scheduler checkpoint: keep the start period
+	if s.T() != 8 {
+		t.Errorf("adaptive restore(3, 0): T = %d, want 8", s.T())
+	}
+}
+
+// TestAdaptiveTWithFaultsDeterministic: the scheduler under the
+// resilient path (live-view allreduces, crash mid-run) must stay
+// reproducible run to run.
+func TestAdaptiveTWithFaultsDeterministic(t *testing.T) {
+	prob := tinyProblem(48, 24, 9)
+	cfg := Config{
+		Algo: AlgoSASGD, Learners: 4, Interval: 4, Gamma: 0.05,
+		Batch: 4, Epochs: 3, Seed: 21,
+		TSched: TSchedAdaptive,
+		Faults: &comm.FaultPlan{CrashAt: map[int]int{2: 1}, EvictAfter: 3e8},
+	}
+	a := Train(cfg, prob)
+	b := Train(cfg, prob)
+	if a.LiveP != 3 || b.LiveP != 3 {
+		t.Fatalf("LiveP = %d/%d, want 3 (one crash)", a.LiveP, b.LiveP)
+	}
+	if a.FinalT != b.FinalT {
+		t.Fatalf("FinalT %d vs %d across identical faulty runs", a.FinalT, b.FinalT)
+	}
+	for i := range a.FinalParams {
+		if a.FinalParams[i] != b.FinalParams[i] {
+			t.Fatalf("faulty adaptive run not reproducible at %d", i)
+		}
+	}
+}

@@ -73,6 +73,18 @@ type Config struct {
 	// distance between leaves) or TopologyFlat (one shared switch, two
 	// hops between any pair). Bandwidth is per-link in both cases.
 	Topology Topology
+	// IslandSize is the number of adjacent leaves sharing a first-level
+	// switch (an NVLink island / PCIe switch pair): rank r belongs to
+	// island r/IslandSize. Defaults to 2, matching TopologyTree's leaf
+	// pairs (treeHops(2k, 2k+1) == 2). The hierarchical aggregation layer
+	// partitions its groups to match these islands.
+	IslandSize int
+	// UplinkBandwidth is the bandwidth in bytes/second of transfers that
+	// cross an island boundary (the shared uplink toward the root
+	// switches). Zero prices cross-island traffic at PeerBandwidth,
+	// which keeps the cost model — and every previously published epoch
+	// time — unchanged unless a run opts into a constrained uplink.
+	UplinkBandwidth float64
 }
 
 // Topology identifies a peer-interconnect latency model.
@@ -99,6 +111,7 @@ func DefaultConfig() Config {
 		ComputeJitter:    0.10,
 		WordFactor:       1,
 		Topology:         TopologyTree,
+		IslandSize:       2,
 	}
 }
 
@@ -118,6 +131,9 @@ func New(p int, cfg Config) *Sim {
 	}
 	if cfg.WordFactor <= 0 {
 		cfg.WordFactor = 1
+	}
+	if cfg.IslandSize <= 0 {
+		cfg.IslandSize = 2
 	}
 	s := &Sim{cfg: cfg}
 	for i := 0; i < p; i++ {
@@ -207,6 +223,12 @@ func (s *Sim) MaxTime() float64 {
 	return m
 }
 
+// IslandOf returns the interconnect island (first-level switch group)
+// that learner rank's leaf hangs off: rank/IslandSize. The hierarchical
+// aggregation layer aligns its intra-group collectives with these
+// islands so the cheap links carry the frequent traffic.
+func (s *Sim) IslandOf(rank int) int { return rank / s.cfg.IslandSize }
+
 // CostModel returns the comm.CostModel view of the fabric.
 func (s *Sim) CostModel() comm.CostModel { return (*costModel)(s) }
 
@@ -219,7 +241,9 @@ func (c *costModel) bytes(words int) float64 {
 // XferTime implements comm.CostModel: peer transfers over the selected
 // interconnect. Latency is per switch hop (tree distance for the PCIe
 // tree, a constant two hops for the flat crossbar); bandwidth is the
-// link rate.
+// link rate, except that transfers crossing an island boundary are
+// priced at UplinkBandwidth when one is configured (the shared uplink
+// toward the root switches is narrower than the intra-island links).
 func (c *costModel) XferTime(from, to int, words int) float64 {
 	hops := 0
 	switch c.cfg.Topology {
@@ -230,7 +254,11 @@ func (c *costModel) XferTime(from, to int, words int) float64 {
 	default:
 		hops = treeHops(from, to)
 	}
-	return float64(hops)*c.cfg.PeerLatency + c.bytes(words)/c.cfg.PeerBandwidth
+	bw := c.cfg.PeerBandwidth
+	if c.cfg.UplinkBandwidth > 0 && from/c.cfg.IslandSize != to/c.cfg.IslandSize {
+		bw = c.cfg.UplinkBandwidth
+	}
+	return float64(hops)*c.cfg.PeerLatency + c.bytes(words)/bw
 }
 
 // ServerOpTime implements comm.CostModel: one full push or pull of

@@ -252,3 +252,57 @@ func TestTreeBeatsFlatForNeighbors(t *testing.T) {
 		t.Error("distant leaves should cost more on the tree")
 	}
 }
+
+func TestIslandOfFollowsIslandSize(t *testing.T) {
+	s := New(8, DefaultConfig()) // IslandSize defaults to 2
+	want := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	for r, w := range want {
+		if got := s.IslandOf(r); got != w {
+			t.Errorf("IslandOf(%d) = %d, want %d", r, got, w)
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.IslandSize = 4
+	s = New(8, cfg)
+	if s.IslandOf(3) != 0 || s.IslandOf(4) != 1 {
+		t.Errorf("IslandSize=4: IslandOf(3)=%d IslandOf(4)=%d, want 0, 1",
+			s.IslandOf(3), s.IslandOf(4))
+	}
+}
+
+// TestUplinkPricesCrossIslandOnly: a constrained uplink must slow only
+// transfers that cross an island boundary; intra-island transfers keep
+// the peer-link rate.
+func TestUplinkPricesCrossIslandOnly(t *testing.T) {
+	base := DefaultConfig()
+	cfg := DefaultConfig()
+	cfg.UplinkBandwidth = cfg.PeerBandwidth / 4
+	sBase, sUp := New(8, base), New(8, cfg)
+	const words = 100000
+	// Ranks 0,1 share an island (IslandSize 2): same cost either way.
+	if a, b := sBase.CostModel().XferTime(0, 1, words), sUp.CostModel().XferTime(0, 1, words); a != b {
+		t.Errorf("intra-island transfer repriced: %g vs %g", a, b)
+	}
+	// Ranks 1,2 straddle the boundary: the constrained uplink is slower.
+	if a, b := sBase.CostModel().XferTime(1, 2, words), sUp.CostModel().XferTime(1, 2, words); b <= a {
+		t.Errorf("cross-island transfer not repriced: base %g, uplink %g", a, b)
+	}
+}
+
+// TestUplinkZeroKeepsLegacyCosts pins backward compatibility: the
+// default (zero) uplink must reproduce the pre-island cost model
+// exactly, so every previously published epoch time stands.
+func TestUplinkZeroKeepsLegacyCosts(t *testing.T) {
+	s := New(8, DefaultConfig())
+	cm := s.CostModel()
+	for from := 0; from < 8; from++ {
+		for to := 0; to < 8; to++ {
+			cfgWords := 12345
+			want := float64(treeHops(from, to))*DefaultConfig().PeerLatency +
+				float64(cfgWords)*DefaultConfig().WordBytes/DefaultConfig().PeerBandwidth
+			if got := cm.XferTime(from, to, cfgWords); math.Abs(got-want) > 1e-15*want {
+				t.Fatalf("XferTime(%d,%d) = %g, want legacy %g", from, to, got, want)
+			}
+		}
+	}
+}

@@ -112,10 +112,35 @@ func fmtDur(d time.Duration) string {
 // returns the overlapped and total allreduce durations (wall clock;
 // quiesced tracks only).
 func (tr *Tracer) OverlapFraction() (overlapped, total time.Duration) {
+	return tr.commComputeOverlap(PhaseBackward)
+}
+
+// HiddenFraction generalizes OverlapFraction to the delayed-application
+// schedule: the fraction of comm-worker allreduce time that ran while
+// the same rank's learner was computing at all — inside a forward,
+// backward, or local-step span. Backward-overlap can hide a transfer
+// only behind the tail of one backward pass; delayed application hides
+// it behind the entire next communication round, and this is the
+// fraction that measures it.
+func (tr *Tracer) HiddenFraction() (hidden, total time.Duration) {
+	return tr.commComputeOverlap(PhaseForward, PhaseBackward, PhaseLocalStep)
+}
+
+// commComputeOverlap intersects each rank's comm-worker allreduce spans
+// with the union of the given learner-track phases on the same rank,
+// returning the intersected and total allreduce durations (wall clock;
+// quiesced tracks only). The listed phases never overlap each other on
+// a learner track — they are sequential stages of one goroutine — so
+// summing per-window intersections does not double-count.
+func (tr *Tracer) commComputeOverlap(phases ...Phase) (overlapped, total time.Duration) {
 	if tr == nil {
 		return 0, 0
 	}
-	// Backward windows per learner tid.
+	var want [NumPhases]bool
+	for _, ph := range phases {
+		want[ph] = true
+	}
+	// Compute windows per learner tid.
 	type window struct{ start, end int64 }
 	backward := map[int][]window{}
 	for _, t := range tr.Tracks() {
@@ -123,7 +148,7 @@ func (tr *Tracer) OverlapFraction() (overlapped, total time.Duration) {
 			continue
 		}
 		for _, s := range t.retained() {
-			if s.phase == PhaseBackward {
+			if want[s.phase] {
 				backward[t.tid] = append(backward[t.tid], window{s.start, s.start + s.dur})
 			}
 		}

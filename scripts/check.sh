@@ -42,6 +42,16 @@ echo "==> go test -race -count=2 compression engine"
 go test -race -count=2 -run 'Compress|Codec|TopK|QInt8|Selector|Quickselect|Sparsity' ./internal/comm/
 go test -race -count=2 -run 'Compress|FaultyCompressed|Adaptive' ./internal/core/
 
+# The communication-scheduling layer rides the same async worker
+# handoff with its own schedule-sensitive surfaces — the one-round
+# delayed-application handle lifecycle, the hierarchical subset
+# collectives sharing the group's mailboxes with in-flight worker ops,
+# and the adaptive-T drift allreduce spliced between them — so run its
+# equivalence, determinism and chaos legs twice under the race detector.
+echo "==> go test -race -count=2 comm-schedule layer"
+go test -race -count=2 -run 'Hier|DeferSync' ./internal/comm/
+go test -race -count=2 -run 'Sched|Delayed|Decay|AdaptiveT|ChaosHier' ./internal/core/
+
 # The tracing subsystem's whole design is lock-free concurrent recording
 # (per-track ring buffers, atomic counters), so give its concurrency
 # tests the same extra race-detector rounds.
@@ -77,7 +87,7 @@ go test -race -count=2 -run 'Aligned' ./internal/parallel/
 # disabled tracing path must stay nil-check-only free (the obs pin also
 # covers the enabled record fast path), and the packed GEMM entry points
 # must run allocation-free off the pooled pack scratch.
-echo "==> go test bucketed zero-alloc pin"
+echo "==> go test bucketed + hier zero-alloc pins"
 go test -run 'SteadyStateAllocs' ./internal/comm/
 echo "==> go test obs disabled-path zero-alloc pin"
 go test -run 'NilTrackIsSafeAndFree|EnabledRecordIsAllocFree' ./internal/obs/
