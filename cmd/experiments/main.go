@@ -29,6 +29,7 @@ func main() {
 	jsonDir := flag.String("json", "", "also write each item's structured result as JSON into this directory")
 	trace := flag.String("trace", "", "Chrome-trace output file for the trace item (default also via SASGD_TRACE=1 or SASGD_TRACE=path)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/obs on this address during traced runs")
+	metricsOn := flag.Bool("metrics", false, "attach the fleet metrics registry to the metrics-aware items (trace): per-rank sim splits, drift RMS and straggler verdicts (default also via SASGD_METRICS=1)")
 	flag.Parse()
 
 	tracePath := *trace
@@ -36,7 +37,8 @@ func main() {
 		tracePath = core.DefaultTracePath()
 	}
 	opt := experiments.Opt{Out: os.Stdout, Epochs: *epochs, Seed: *seed, Replicas: *replicas,
-		TracePath: tracePath, DebugAddr: *debugAddr}
+		TracePath: tracePath, DebugAddr: *debugAddr,
+		Metrics: *metricsOn || core.DefaultMetrics()}
 	all := []struct {
 		name string
 		run  func() interface{}

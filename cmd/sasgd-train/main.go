@@ -21,6 +21,7 @@ import (
 	"sasgd/internal/experiments"
 	"sasgd/internal/metrics"
 	"sasgd/internal/obs"
+	obsmetrics "sasgd/internal/obs/metrics"
 )
 
 func main() {
@@ -58,6 +59,9 @@ func main() {
 	resume := flag.String("resume", "", "resume SASGD training from this checkpoint file")
 	resumeRanks := flag.String("resume-ranks", "", "comma-separated original ranks the resumed learners play, e.g. 0,1,3 after rank 2 died (default: all of them)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/obs live snapshots on this address during the run (e.g. localhost:6060)")
+	metricsOn := flag.Bool("metrics", false, "attach the fleet metrics registry: per-boundary drift/T/compression telemetry, straggler detection, and an end-of-run fleet health summary (SASGD only; default also via SASGD_METRICS=1)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text on /debug/metrics and the JSON snapshot on /debug/obs at this address during the run (implies -metrics; same mux as -debug-addr)")
+	metricsEvents := flag.String("metrics-events", "", "append boundary/T-change/membership/fault/anomaly events to this NDJSON file during the run (implies -metrics)")
 	flag.Parse()
 
 	sc := experiments.ScaleSmall
@@ -184,10 +188,33 @@ func main() {
 		tracePath = core.DefaultTracePath()
 	}
 	var tracer *obs.Tracer
-	if tracePath != "" || *debugAddr != "" {
+	if tracePath != "" || *debugAddr != "" || *metricsAddr != "" {
 		tracer = obs.NewTracer(0)
 		cfg.Tracer = tracer
 	}
+
+	// Metrics: the flag wins, the SASGD_METRICS env supplies the default,
+	// and either export flag implies collection. The registry only feeds
+	// from SASGD's aggregation boundaries; attaching it to another
+	// algorithm is harmless but yields no fleet view.
+	var reg *obsmetrics.Registry
+	if *metricsOn || *metricsAddr != "" || *metricsEvents != "" || core.DefaultMetrics() {
+		reg = obsmetrics.New()
+		cfg.Metrics = reg
+		// Train attaches the registry to the tracer too; doing it here as
+		// well makes /debug/metrics live before the first boundary.
+		tracer.SetMetrics(reg)
+		if *metricsEvents != "" {
+			f, err := os.Create(*metricsEvents)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sasgd-train: -metrics-events: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			reg.SetEvents(obsmetrics.NewEventLog(f))
+		}
+	}
+
 	if *debugAddr != "" {
 		addr, err := tracer.ServeDebug(*debugAddr)
 		if err != nil {
@@ -195,6 +222,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("debug endpoint: http://%s/debug/obs\n", addr)
+	}
+	if *metricsAddr != "" && *metricsAddr != *debugAddr {
+		addr, err := tracer.ServeDebug(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sasgd-train: metrics endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics endpoint: http://%s/debug/metrics\n", addr)
 	}
 
 	fmt.Printf("training %s on %s: p=%d T=%d M=%d γ=%g epochs=%d\n",
@@ -241,6 +276,36 @@ func main() {
 		}
 		if res.Comm.Words > 0 {
 			fmt.Print(res.Comm.String())
+		}
+	}
+	if snap := reg.Fleet().Snapshot(); snap != nil && snap.Boundaries > 0 {
+		ftab := metrics.Table{
+			Title:  "fleet health",
+			Header: []string{"rank", "live", "compute(ms)", "wall(ms)", "sim-comp(s)", "sim-comm(s)", "z", "flagged"},
+		}
+		for _, r := range snap.Ranks {
+			live := "yes"
+			if !r.Live {
+				live = "no"
+			}
+			flagged := ""
+			if r.Flagged {
+				flagged = "STRAGGLER"
+			}
+			ftab.AddRow(fmt.Sprint(r.Rank), live,
+				fmt.Sprintf("%.1f", r.TotComputeNs/1e6),
+				fmt.Sprintf("%.1f", r.TotWallNs/1e6),
+				fmt.Sprintf("%.3f", r.TotSimCompute),
+				fmt.Sprintf("%.3f", r.TotSimComm),
+				fmt.Sprintf("%.2f", r.Z), flagged)
+		}
+		fmt.Print(ftab.String())
+		fmt.Printf("fleet: %d boundaries, %d/%d live, T=%d, drift RMS %.4g, %d frame words on the wire\n",
+			snap.Boundaries, snap.Live, len(snap.Ranks), snap.T, snap.DriftRMS,
+			int64(snap.Boundaries)*obsmetrics.FrameTrafficWords(len(snap.Ranks)))
+		if len(snap.Anomalies) > 0 {
+			fmt.Printf("anomalies: ranks %v flagged as stragglers (leave-one-out z ≥ %g for %d+ boundaries)\n",
+				snap.Anomalies, obsmetrics.DefaultZ, obsmetrics.DefaultStreak)
 		}
 	}
 }

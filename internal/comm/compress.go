@@ -64,6 +64,13 @@ type Compressor interface {
 	// Allreduce calls since the last take — the adaptive-sparsity
 	// controller's input signal.
 	TakeCapture() (sent2, resid2 float64)
+
+	// Totals returns the same two squared norms accumulated over the
+	// codec's whole lifetime, never reset. TakeCapture consumes the
+	// per-interval capture (the adaptive controller resets it every
+	// boundary), so run-level telemetry — the captured-mass share on the
+	// metrics fleet frame — reads this instead.
+	Totals() (sent2, resid2 float64)
 }
 
 // NewCompressor returns a fresh per-learner codec instance for the
@@ -224,7 +231,8 @@ type topkCompressor struct {
 	encA []float64
 	encB []float64 // pair-list ping/pong merge scratch
 
-	sent2, resid2 float64
+	sent2, resid2       float64
+	totSent2, totResid2 float64
 }
 
 func (c *topkCompressor) Name() string { return "topk" }
@@ -233,6 +241,10 @@ func (c *topkCompressor) TakeCapture() (sent2, resid2 float64) {
 	sent2, resid2 = c.sent2, c.resid2
 	c.sent2, c.resid2 = 0, 0
 	return sent2, resid2
+}
+
+func (c *topkCompressor) Totals() (sent2, resid2 float64) {
+	return c.totSent2, c.totResid2
 }
 
 func (c *topkCompressor) Allreduce(g *Group, rank int, seg, res []float64, ratio, ready float64, tk *obs.Track, arg int32) {
@@ -257,19 +269,25 @@ func (c *topkCompressor) Allreduce(g *Group, rank int, seg, res []float64, ratio
 	// ones keep their full folded value — the conservation invariant
 	// selected + residual == folded gradient, bitwise.
 	enc := c.encA[:0]
+	var s2 float64
 	for _, j := range c.idx {
 		v := seg[j]
 		enc = append(enc, float64(j), v)
-		c.sent2 += v * v
+		s2 += v * v
 	}
 	c.encA = enc
 	copy(res, seg)
 	for _, j := range c.idx {
 		res[j] = 0
 	}
+	var r2 float64
 	for _, v := range res {
-		c.resid2 += v * v
+		r2 += v * v
 	}
+	c.sent2 += s2
+	c.resid2 += r2
+	c.totSent2 += s2
+	c.totResid2 += r2
 	tk.EndArg(obs.PhaseCompress, arg, cs)
 	sum := c.allreducePairs(g, rank, enc, k, res, ready)
 	// Scatter the compressed global aggregate densely into seg; the

@@ -47,7 +47,8 @@ const maxQuantGroup = 256
 type qint8Compressor struct {
 	q []int32 // own quantized contribution, then the integer aggregate
 
-	sent2, resid2 float64
+	sent2, resid2       float64
+	totSent2, totResid2 float64
 }
 
 func (c *qint8Compressor) Name() string { return "qint8" }
@@ -56,6 +57,10 @@ func (c *qint8Compressor) TakeCapture() (sent2, resid2 float64) {
 	sent2, resid2 = c.sent2, c.resid2
 	c.sent2, c.resid2 = 0, 0
 	return sent2, resid2
+}
+
+func (c *qint8Compressor) Totals() (sent2, resid2 float64) {
+	return c.totSent2, c.totResid2
 }
 
 func (c *qint8Compressor) Allreduce(g *Group, rank int, seg, res []float64, ratio, ready float64, tk *obs.Track, arg int32) {
@@ -107,6 +112,8 @@ func (c *qint8Compressor) Allreduce(g *Group, rank int, seg, res []float64, rati
 		res[i] = r
 		c.sent2 += sent * sent
 		c.resid2 += r * r
+		c.totSent2 += sent * sent
+		c.totResid2 += r * r
 	}
 	tk.EndArg(obs.PhaseCompress, arg, cs)
 	c.intTreeAllreduce(g, rank, ready)

@@ -125,10 +125,12 @@ func (g *Group) SetTracer(tr *obs.Tracer) {
 // Tracer returns the attached tracer (nil when tracing is off).
 func (g *Group) Tracer() *obs.Tracer { return g.tracer }
 
-// AlgoStats is the traffic charged to one collective algorithm.
+// AlgoStats is the traffic charged to one collective algorithm. The
+// JSON tags fix the wire shape the live /debug/obs endpoint serves
+// (obs.LiveSnapshot.Stats carries a Stats value through interface{}).
 type AlgoStats struct {
-	Words    int64 // float64 payload words
-	Messages int64 // point-to-point messages
+	Words    int64 `json:"words"`    // float64 payload words
+	Messages int64 `json:"messages"` // point-to-point messages
 }
 
 // FaultStats are the fault-injection and membership counters of a run.
@@ -138,12 +140,18 @@ type AlgoStats struct {
 // stop-and-wait protocol maps 1:1 onto retransmissions); Evictions,
 // Reforms and Crashes come from the membership ledger.
 type FaultStats struct {
-	Drops     int64 // injected message-drop events (per delivery attempt)
-	Retries   int64 // retransmissions after an ack timeout
-	Timeouts  int64 // ack-timeout expiries
-	Evictions int64 // ranks evicted by the failure detector
-	Reforms   int64 // survivor group re-formations
-	Crashes   int64 // scheduled learner crashes executed
+	Drops     int64 `json:"drops"`     // injected message-drop events (per delivery attempt)
+	Retries   int64 `json:"retries"`   // retransmissions after an ack timeout
+	Timeouts  int64 `json:"timeouts"`  // ack-timeout expiries
+	Evictions int64 `json:"evictions"` // ranks evicted by the failure detector
+	Reforms   int64 `json:"reforms"`   // survivor group re-formations
+	Crashes   int64 `json:"crashes"`   // scheduled learner crashes executed
+}
+
+// Sum returns the total event count, the delta signal the metrics fleet
+// collector uses to emit fault events exactly when something happened.
+func (f FaultStats) Sum() int64 {
+	return f.Drops + f.Retries + f.Timeouts + f.Evictions + f.Reforms + f.Crashes
 }
 
 // Active reports whether any fault or membership event occurred.
@@ -155,33 +163,36 @@ func (f FaultStats) Active() bool {
 // Stats is a snapshot of the group's communication counters. Safe to
 // take mid-run (atomics only); exact once the learners have quiesced.
 type Stats struct {
-	Words    int64 // total float64 words moved, all algorithms
-	Messages int64 // total point-to-point messages
-	Bytes    int64 // Words at the 8-byte float64 wire representation
+	Words    int64 `json:"words"`    // total float64 words moved, all algorithms
+	Messages int64 `json:"messages"` // total point-to-point messages
+	Bytes    int64 `json:"bytes"`    // Words at the 8-byte float64 wire representation
 
 	// CrossWords is the subset of Words whose sender and receiver sit in
 	// different interconnect islands (zero unless SetIslands attached a
 	// map) — the traffic the hierarchical schedule tries to minimize.
-	CrossWords int64
+	CrossWords int64 `json:"cross_words"`
 
-	PerAlgo map[string]AlgoStats // traffic by collective algorithm (zero rows omitted)
+	// PerAlgo is the traffic by collective algorithm (zero rows omitted);
+	// the hintra/hinter rows separate the hierarchical schedule's cheap
+	// intra-island sub-collectives from the uplink-crossing exchange.
+	PerAlgo map[string]AlgoStats `json:"per_algo,omitempty"`
 
-	MailboxWait time.Duration // total recv-side blocking (tracer-gated; 0 untraced)
+	MailboxWait time.Duration `json:"mailbox_wait_ns,omitempty"` // total recv-side blocking (tracer-gated; 0 untraced)
 
 	// Bucketed-allreduce pipeline, summed over ranks. Occupancy is the
 	// mean over active ranks of busy/(last completion − first pickup):
 	// 1.0 means the worker never idled between buckets. Timings are
 	// tracer-gated; BucketOps counts regardless.
-	BucketOps         int64
-	QueueDwell        time.Duration
-	WorkerBusy        time.Duration
-	PipelineOccupancy float64
+	BucketOps         int64         `json:"bucket_ops,omitempty"`
+	QueueDwell        time.Duration `json:"queue_dwell_ns,omitempty"`
+	WorkerBusy        time.Duration `json:"worker_busy_ns,omitempty"`
+	PipelineOccupancy float64       `json:"pipeline_occupancy,omitempty"`
 
 	// Faults holds the fault-injection and membership counters (all zero
 	// without an attached FaultPlan). When the membership layer re-forms
 	// groups mid-run, the fabric — and so this block — spans the whole
 	// run regardless of which group's Stats() is asked.
-	Faults FaultStats
+	Faults FaultStats `json:"faults"`
 }
 
 // Stats returns the current counter snapshot.
@@ -269,6 +280,33 @@ func (g *Group) WordsSent() int64 {
 		}
 	}
 	return w
+}
+
+// TrafficTotals sums the group's traffic counters without building the
+// Stats map: total words, the cross-island subset, and the hierarchical
+// intra/inter-island rows. The metrics fleet collector samples it at
+// every aggregation boundary, so unlike Stats() it must not allocate.
+func (g *Group) TrafficTotals() (words, cross, hintra, hinter int64) {
+	for r := range g.stats {
+		st := &g.stats[r]
+		for a := algo(0); a < numAlgos; a++ {
+			words += st.words[a].Load()
+		}
+		cross += st.crossWords.Load()
+		hintra += st.words[algoHIntra].Load()
+		hinter += st.words[algoHInter].Load()
+	}
+	return words, cross, hintra, hinter
+}
+
+// FaultCounts returns the fabric's fault-injection and membership
+// counters (zero value when the group has no fault fabric). Alloc-free,
+// boundary-rate safe, unlike the full Stats() snapshot.
+func (g *Group) FaultCounts() FaultStats {
+	if g.fab == nil {
+		return FaultStats{}
+	}
+	return g.fab.faultCounts()
 }
 
 // ResetStats zeroes every counter (traffic, mailbox wait, pipeline),

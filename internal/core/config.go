@@ -20,6 +20,7 @@ import (
 	"sasgd/internal/netsim"
 	"sasgd/internal/nn"
 	"sasgd/internal/obs"
+	obsmetrics "sasgd/internal/obs/metrics"
 )
 
 var (
@@ -129,6 +130,24 @@ func DefaultFaultSpec() string {
 		defaultFaultSpec = os.Getenv("SASGD_FAULTS")
 	})
 	return defaultFaultSpec
+}
+
+var (
+	metricsOnce    sync.Once
+	defaultMetrics bool
+)
+
+// DefaultMetrics reports whether the SASGD_METRICS environment variable
+// requests a metrics registry by default ("1" or "true"; anything else,
+// including unset, leaves metrics off unless a -metrics flag asks).
+// Commands consult it when their -metrics flag is unset, mirroring the
+// -trace/SASGD_TRACE precedence.
+func DefaultMetrics() bool {
+	metricsOnce.Do(func() {
+		s := os.Getenv("SASGD_METRICS")
+		defaultMetrics = s == "1" || s == "true"
+	})
+	return defaultMetrics
 }
 
 var (
@@ -376,6 +395,22 @@ type Config struct {
 	// (SASGD/SGD) path; nil (the default) keeps every probe on its
 	// nil-check-only fast path.
 	Tracer *obs.Tracer
+
+	// Metrics, when non-nil, attaches the time-series metrics registry
+	// (internal/obs/metrics) to the run: learners record per-rank phase
+	// latencies and boundary health frames, every aggregation boundary
+	// piggybacks a fixed-size fleet frame on an extra allreduce over the
+	// training group (traffic-pinned: boundaries × FrameTrafficWords(p)
+	// words), and rank 0 ingests the fleet view — live ranks, effective
+	// T, replica-drift RMS, compression capture, straggler anomalies —
+	// into the registry's gauges, event log and anomaly detector. The
+	// frame rides its own buffer, so enabling metrics never changes
+	// training values: FinalParams is bitwise identical with metrics on
+	// or off (simulated times do shift — the frame exchange is charged to
+	// the fabric like any other traffic). Nil (the default) keeps every
+	// probe on its nil-check-only fast path. SASGD collective paths only;
+	// the other algorithms ignore it.
+	Metrics *obsmetrics.Registry
 
 	// Sim, when non-nil, attaches the fabric simulator: compute and
 	// communication are charged to per-learner clocks and the result

@@ -72,6 +72,7 @@ func trainSASGDScheduled(cfg Config, prob *Problem) *Result {
 		group.SetIslands(islandOf)
 	}
 	rec := newRecorder(prob)
+	fleet := newFleet(cfg, p)
 	var samples atomic.Int64
 	var finalParams []float64
 	var finalRatio float64
@@ -93,6 +94,8 @@ func trainSASGDScheduled(cfg Config, prob *Problem) *Result {
 		gs := make([]float64, m)
 
 		eng := newSchedEngine(cfg, group, rank, p, net, gs, xref, tk)
+		eng.fc = newFleetCollector(cfg, rank, p, fleet)
+		eng.fc.attach(net)
 
 		sampler := data.NewEpochSampler(shards[rank].Len(), cfg.Batch, cfg.Seed+int64(rank)*31+7)
 		var lastLoss float64
@@ -211,6 +214,8 @@ type schedEngine struct {
 	adaptOn  bool
 	adaptBuf [2]float64
 
+	fc *fleetCollector // boundary health telemetry (nil = metrics off)
+
 	bidx int // boundaries completed
 }
 
@@ -286,6 +291,16 @@ func newSchedEngine(cfg Config, group *comm.Group, rank, p int, net *nn.Network,
 // the engine's current accumulator eng.gs holds the interval's gradient
 // sum (cleared on return).
 func (e *schedEngine) onBoundary(params []float64) {
+	if e.fc != nil {
+		// Drift against the reference params was reset to at the last
+		// boundary: the island working reference under a hierarchy, the
+		// global reference otherwise.
+		ref := e.xref
+		if e.hier != nil {
+			ref = e.w
+		}
+		e.fc.boundaryStart(params, ref)
+	}
 	switch {
 	case e.hier != nil:
 		e.hierBoundary(params)
@@ -295,6 +310,22 @@ func (e *schedEngine) onBoundary(params []float64) {
 		e.flatEager(params)
 	}
 	e.bidx++
+}
+
+// metricsBoundary ships the boundary's health frame. Each branch calls
+// it at its own safe point: after the boundary's collectives, and before
+// any delayed launch goes into flight (learner collectives must not
+// overlap the worker's mailbox use).
+func (e *schedEngine) metricsBoundary() {
+	if e.fc == nil {
+		return
+	}
+	var ratio, s2, r2 float64
+	if e.comp != nil {
+		ratio = e.ratio
+		s2, r2 = e.comp.Totals()
+	}
+	e.fc.boundaryEnd(e.group, e.rank, e.sched.T(), ratio, s2, r2)
 }
 
 // flatEager is the legacy boundary — allreduce gs, x′ ← x′ − γp·gs,
@@ -332,6 +363,7 @@ func (e *schedEngine) flatEager(params []float64) {
 	clear(e.gs)
 	tk.End(obs.PhaseAggApply, as)
 	e.adaptK()
+	e.metricsBoundary()
 }
 
 // delayedFlat is the DaSGD boundary: apply the PREVIOUS boundary's
@@ -359,6 +391,7 @@ func (e *schedEngine) delayedFlat(params []float64) {
 	if applied {
 		e.adaptK()
 	}
+	e.metricsBoundary()
 	e.launch(e.gs, g.Clock(rank).Now())
 	e.gs, e.pend = e.pend, e.gs
 	e.pendAt = e.bidx
@@ -408,6 +441,7 @@ func (e *schedEngine) hierBoundary(params []float64) {
 	tensor.Copy(params, e.w)
 	clear(e.gs)
 	tk.End(obs.PhaseAggApply, as)
+	e.metricsBoundary()
 	// Launch the staged outer exchange only after every learner
 	// collective of this boundary has run; it is drained at the top of
 	// the next boundary, so the channels are exclusively the worker's for

@@ -97,6 +97,7 @@ func trainSASGDResilient(cfg Config, prob *Problem) *Result {
 	res := comm.NewResilient(p, plan, clocks, cost, cfg.Tracer)
 	cfg.Tracer.SetStats(func() interface{} { return res.Stats() })
 	rec := newRecorder(prob)
+	fleet := newFleet(cfg, p)
 	var samples atomic.Int64
 	var finalParams []float64
 	var finalT int
@@ -109,6 +110,8 @@ func trainSASGDResilient(cfg Config, prob *Problem) *Result {
 		grads := net.GradData()
 		tk := cfg.Tracer.Learner(runPhys)
 		net.SetTrack(tk)
+		fc := newFleetCollector(cfg, runPhys, p, fleet)
+		fc.attach(net)
 
 		if rs != nil {
 			if len(rs.params) != m {
@@ -230,6 +233,16 @@ func trainSASGDResilient(cfg Config, prob *Problem) *Result {
 					// heartbeat. The peers detect and evict.
 					res.Crash(runPhys)
 					return
+				}
+				if fc != nil {
+					// Drift against the reference the replica was reset to
+					// at the last boundary (w under a hierarchy). Measured
+					// before the membership sync: pure local reads.
+					ref := xref
+					if w != nil {
+						ref = w
+					}
+					fc.boundaryStart(params, ref)
 				}
 				v, ok := res.Await(runPhys, sync)
 				sync++
@@ -387,6 +400,14 @@ func trainSASGDResilient(cfg Config, prob *Problem) *Result {
 					tk.End(obs.PhaseAggApply, as)
 				default:
 					aggregate(view.G, vr, acfg, boundary, gs, xref, params, tk)
+				}
+				if fc != nil {
+					var cratio, s2, r2 float64
+					if comp != nil {
+						cratio = ratio
+						s2, r2 = comp.Totals()
+					}
+					fc.boundaryEnd(view.G, vr, sched.T(), cratio, s2, r2)
 				}
 				boundary++
 				next = step + sched.T()

@@ -41,6 +41,7 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 	group.SetTracer(cfg.Tracer)
 	cfg.Tracer.SetStats(func() interface{} { return group.Stats() })
 	rec := newRecorder(prob)
+	fleet := newFleet(cfg, p)
 	var samples atomic.Int64
 	var finalParams []float64
 	var finalRatio float64
@@ -52,6 +53,8 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 		grads := net.GradData()
 		tk := cfg.Tracer.Learner(rank)
 		net.SetTrack(tk)
+		fc := newFleetCollector(cfg, rank, p, fleet)
+		fc.attach(net)
 
 		// x ← broadcast(x, p, id); x′ ← x
 		bs := tk.Begin()
@@ -68,6 +71,16 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 		var ov *overlapAggregator
 		if cfg.overlapActive() || cfg.compressionActive() {
 			ov = newOverlapAggregator(group, rank, cfg, net, gs, tk)
+		}
+		// Codec telemetry for the boundary health frame: the working
+		// ratio and the cumulative captured/residual mass (Totals, not
+		// TakeCapture — the adaptive controller consumes the capture).
+		compTotals := func() (ratio, s2, r2 float64) {
+			if ov != nil && ov.comp != nil {
+				ratio = ov.ratio
+				s2, r2 = ov.comp.Totals()
+			}
+			return
 		}
 
 		sampler := data.NewEpochSampler(shards[rank].Len(), cfg.Batch, cfg.Seed+int64(rank)*31+7)
@@ -93,6 +106,7 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 					ws := tk.Begin()
 					ov.wait()
 					tk.End(obs.PhaseAggWait, ws)
+					fc.boundaryStart(params, xref)
 					if cfg.AggHook != nil && rank == 0 && ov.comp == nil {
 						cfg.AggHook((step+1)/cfg.Interval-1, gs)
 					}
@@ -105,6 +119,8 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 					clear(gs)
 					tk.End(obs.PhaseAggApply, as)
 					ov.adaptK(group, rank)
+					ratio, s2, r2 := compTotals()
+					fc.boundaryEnd(group, rank, cfg.Interval, ratio, s2, r2)
 					samples.Add(int64(len(idx)))
 					step++
 					continue
@@ -121,6 +137,7 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 				}
 				step++
 				if step%cfg.Interval == 0 {
+					fc.boundaryStart(params, xref)
 					if ov != nil && ov.comp != nil {
 						// Compressed serial schedule: the same bucketed
 						// engine as the overlap path, every bucket launched
@@ -139,6 +156,8 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 					} else {
 						aggregate(group, rank, cfg, step/cfg.Interval-1, gs, xref, params, tk)
 					}
+					ratio, s2, r2 := compTotals()
+					fc.boundaryEnd(group, rank, cfg.Interval, ratio, s2, r2)
 				}
 			}
 			// Collective epoch boundary: synchronize and let learner 0

@@ -133,6 +133,65 @@ func TestTraceSparsePathPhases(t *testing.T) {
 	}
 }
 
+// TestTraceExportScheduledPaths covers Chrome-trace export under the
+// communication-scheduling paths: adaptive-T boundaries, hierarchical
+// two-level collectives, and delayed application (flat and hierarchical)
+// must each produce a schema-valid trace with the aggregation spans
+// present, and the hierarchical runs must attribute traffic to the
+// hintra/hinter labels. The scripts/check.sh race leg runs this test
+// under -race, which exercises the comm-worker/learner span handoff on
+// the delayed paths.
+func TestTraceExportScheduledPaths(t *testing.T) {
+	prob := cifarProblem(24, 12)
+	for _, tc := range []struct {
+		name  string
+		mut   func(*Config)
+		algos []string
+	}{
+		{"adaptive-t", func(c *Config) { c.TSched = TSchedAdaptive }, []string{"tree"}},
+		{"hier", func(c *Config) { c.HierGroups = 2; c.TOuter = 2 }, []string{"hintra", "hinter"}},
+		// Delayed launches run through the bucketed comm worker's chunked
+		// tree, so the traffic lands under "ptree".
+		{"delayed", func(c *Config) { c.DelayedApply = true }, []string{"ptree"}},
+		{"hier-delayed", func(c *Config) {
+			c.HierGroups = 2
+			c.TOuter = 2
+			c.DelayedApply = true
+		}, []string{"hintra", "hinter"}},
+	} {
+		tr := obs.NewTracer(1 << 12)
+		cfg := Config{
+			Algo: AlgoSASGD, Learners: 4, Interval: 2, Gamma: 0.05,
+			Batch: 4, Epochs: 2, Seed: 5, Tracer: tr,
+		}
+		tc.mut(&cfg)
+		res := Train(cfg, prob)
+
+		var buf bytes.Buffer
+		if err := tr.WriteTrace(&buf); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		spans, err := obs.ValidateTrace(buf.Bytes())
+		if err != nil {
+			t.Fatalf("%s: trace failed schema validation: %v", tc.name, err)
+		}
+		if spans == 0 {
+			t.Fatalf("%s: trace has no spans", tc.name)
+		}
+		table := tr.ProfileTable("phases")
+		for _, ph := range []obs.Phase{obs.PhaseAggWait, obs.PhaseAggApply, obs.PhaseLocalStep} {
+			if !strings.Contains(table, ph.String()) {
+				t.Errorf("%s: profile missing %q spans:\n%s", tc.name, ph, table)
+			}
+		}
+		for _, algo := range tc.algos {
+			if res.Comm.PerAlgo[algo].Words == 0 {
+				t.Errorf("%s: no traffic under %q: %+v", tc.name, algo, res.Comm.PerAlgo)
+			}
+		}
+	}
+}
+
 // BenchmarkTraceOverhead measures a full overlapped training run with
 // tracing off (the nil-check-only disabled path) vs on; the two must be
 // within noise of each other, which scripts/bench_obs.sh records.

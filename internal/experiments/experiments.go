@@ -158,6 +158,11 @@ type Opt struct {
 	// DebugAddr, when non-empty, serves the live /debug/obs endpoint on
 	// this address for the duration of the traced runs.
 	DebugAddr string
+	// Metrics attaches a fleet metrics registry to the metrics-aware
+	// drivers (TracedOverlap): per-boundary drift/T telemetry and the
+	// per-rank simulated compute/communication split are collected and
+	// printed, and served live on /debug/obs with DebugAddr.
+	Metrics bool
 }
 
 func (o Opt) out() io.Writer {

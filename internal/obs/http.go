@@ -7,6 +7,8 @@ import (
 	"net"
 	"net/http"
 	"sync"
+
+	"sasgd/internal/obs/metrics"
 )
 
 // Live debug endpoint (-debug-addr): a plain net/http server exposing
@@ -24,6 +26,13 @@ import (
 type LiveSnapshot struct {
 	Tracks []LiveTrack `json:"tracks"`
 	Stats  interface{} `json:"stats,omitempty"`
+	// Metrics is the attached metrics registry's snapshot (SetMetrics):
+	// counters, gauges, histograms, sample series and the fleet health
+	// view — including each rank's simulated compute/communication
+	// split, the live view of the SimComm numbers the hidden-fraction
+	// analysis in internal/experiments is computed from. Omitted when no
+	// registry is attached.
+	Metrics *metrics.Snap `json:"metrics,omitempty"`
 }
 
 // LiveTrack is one track's live aggregate view.
@@ -64,6 +73,7 @@ func (tr *Tracer) Snapshot() LiveSnapshot {
 		snap.Tracks = append(snap.Tracks, lt)
 	}
 	snap.Stats = tr.Stats()
+	snap.Metrics = tr.Metrics().Snapshot()
 	return snap
 }
 
@@ -101,6 +111,17 @@ func (tr *Tracer) Handler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", " ")
 		if err := enc.Encode(tr.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		reg := tr.Metrics()
+		if reg == nil {
+			http.Error(w, "no metrics registry attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

@@ -1,0 +1,173 @@
+package metrics
+
+import "math"
+
+// The straggler/anomaly detector: a leave-one-out z-score band over the
+// fleet's per-rank compute signal. At each boundary, rank i's signal is
+// compared against the mean and standard deviation of its LIVE peers
+// (everyone but i): z_i = (v_i − mean_peers) / max(std_peers, floor).
+// Leaving i out matters at small fleets — with p = 8 and one 4×
+// straggler, a plain z-score dilutes the mean and inflates the std with
+// the outlier itself and never clears z = 3; the leave-one-out form
+// compares the straggler against its seven healthy peers directly.
+//
+// The std floor guards the degenerate (and, under the deterministic
+// fabric simulator, common) case of identical peers: std 0 would make
+// any difference infinitely significant, so the floor is EpsFrac of the
+// peer mean — a rank must run at least ~Z·EpsFrac slower than its peers
+// to score, i.e. ~15% at the defaults. A rank is flagged only after
+// Streak consecutive out-of-band boundaries, so one slow GC pause or
+// page fault does not page anyone; the flag is sticky for the run (the
+// signal a transport backend or serving fleet would page on).
+
+// Detector defaults.
+const (
+	// DefaultZ is the z-score band: |z| beyond it is out of band.
+	DefaultZ = 3.0
+	// DefaultStreak is how many consecutive out-of-band boundaries flag
+	// a rank.
+	DefaultStreak = 3
+	// DefaultEpsFrac floors the peer std at this fraction of the peer
+	// mean.
+	DefaultEpsFrac = 0.05
+)
+
+// Detector holds the per-rank streaks and flags. Not concurrency-safe;
+// the Fleet drives it under its own mutex.
+type Detector struct {
+	z       float64
+	streakN int
+	epsFrac float64
+
+	streak  []int
+	flagged []bool
+	zs      []float64
+}
+
+// NewDetector builds a detector for p ranks. Zero thresholds select the
+// defaults.
+func NewDetector(p int, z float64, streak int, epsFrac float64) *Detector {
+	if z <= 0 {
+		z = DefaultZ
+	}
+	if streak <= 0 {
+		streak = DefaultStreak
+	}
+	if epsFrac <= 0 {
+		epsFrac = DefaultEpsFrac
+	}
+	return &Detector{
+		z: z, streakN: streak, epsFrac: epsFrac,
+		streak:  make([]int, p),
+		flagged: make([]bool, p),
+		zs:      make([]float64, p),
+	}
+}
+
+// SetBand overrides the thresholds (zero keeps the current value).
+func (d *Detector) SetBand(z float64, streak int, epsFrac float64) {
+	if d == nil {
+		return
+	}
+	if z > 0 {
+		d.z = z
+	}
+	if streak > 0 {
+		d.streakN = streak
+	}
+	if epsFrac > 0 {
+		d.epsFrac = epsFrac
+	}
+}
+
+// Observe scores one boundary's per-rank signal (vals[r] compared among
+// ranks with live[r] true) and returns the ranks newly flagged this
+// boundary, ascending. Dead ranks keep their flags but stop
+// accumulating streaks.
+func (d *Detector) Observe(vals []float64, live []bool) (newlyFlagged []int) {
+	if d == nil {
+		return nil
+	}
+	n := len(d.streak)
+	// Totals over the live set, so each rank's peer stats are one
+	// subtraction away (leave-one-out without a second pass).
+	liveN := 0
+	sum, sum2 := 0.0, 0.0
+	for r := 0; r < n && r < len(vals); r++ {
+		if r < len(live) && live[r] {
+			liveN++
+			sum += vals[r]
+			sum2 += vals[r] * vals[r]
+		}
+	}
+	for r := 0; r < n && r < len(vals); r++ {
+		d.zs[r] = 0
+		if r >= len(live) || !live[r] {
+			d.streak[r] = 0
+			continue
+		}
+		peers := liveN - 1
+		if peers < 2 {
+			// One or two live ranks: no peer distribution to test against.
+			d.streak[r] = 0
+			continue
+		}
+		v := vals[r]
+		pm := (sum - v) / float64(peers)
+		pvar := (sum2-v*v)/float64(peers) - pm*pm
+		if pvar < 0 {
+			pvar = 0
+		}
+		std := math.Sqrt(pvar)
+		if floor := d.epsFrac * math.Abs(pm); std < floor {
+			std = floor
+		}
+		if std == 0 {
+			// All-zero peers (e.g. wall probes disabled): nothing to score.
+			d.streak[r] = 0
+			continue
+		}
+		z := (v - pm) / std
+		d.zs[r] = z
+		if math.Abs(z) > d.z {
+			d.streak[r]++
+			if d.streak[r] >= d.streakN && !d.flagged[r] {
+				d.flagged[r] = true
+				newlyFlagged = append(newlyFlagged, r)
+			}
+		} else {
+			d.streak[r] = 0
+		}
+	}
+	return newlyFlagged
+}
+
+// Z returns rank r's latest z-score (0 on nil or out of range).
+func (d *Detector) Z(r int) float64 {
+	if d == nil || r < 0 || r >= len(d.zs) {
+		return 0
+	}
+	return d.zs[r]
+}
+
+// Flagged reports whether rank r is flagged (false on nil / range).
+func (d *Detector) Flagged(r int) bool {
+	if d == nil || r < 0 || r >= len(d.flagged) {
+		return false
+	}
+	return d.flagged[r]
+}
+
+// FlaggedRanks returns every flagged rank, ascending.
+func (d *Detector) FlaggedRanks() []int {
+	if d == nil {
+		return nil
+	}
+	var out []int
+	for r, f := range d.flagged {
+		if f {
+			out = append(out, r)
+		}
+	}
+	return out
+}

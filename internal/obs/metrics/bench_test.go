@@ -1,0 +1,70 @@
+package metrics
+
+import "testing"
+
+// The overhead budget, in obs/bench_test.go's mold: the disabled probe
+// (a nil check, paid by every instrumented hot path in every run) must
+// stay at tracer parity (≈2 ns), the enabled record is a handful of
+// atomics paid only under -metrics.
+
+func BenchmarkMetricsDisabledProbe(b *testing.B) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(1)
+		h.Observe(1)
+	}
+}
+
+func BenchmarkMetricsEnabledCounter(b *testing.B) {
+	r := New()
+	c := r.Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkMetricsEnabledGauge(b *testing.B) {
+	r := New()
+	g := r.Gauge("g")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkMetricsEnabledHistogram(b *testing.B) {
+	r := New()
+	h := r.Histogram("h", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1e6)
+	}
+}
+
+func BenchmarkMetricsEnabledRing(b *testing.B) {
+	r := New()
+	s := r.Ring("s", 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.RecordAt(int64(i), float64(i))
+	}
+}
+
+func BenchmarkFleetIngest(b *testing.B) {
+	r := New()
+	const p = 8
+	f := NewFleet(r, p)
+	buf := FrameBuf(p)
+	for rank := 0; rank < p; rank++ {
+		Frame{Rank: rank, Live: true, T: 4, SimCompute: 0.1}.Encode(buf)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Ingest(int64(i), buf)
+	}
+}

@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// The NDJSON structured event log: one JSON object per line for the
+// run's discrete state changes — aggregation boundaries, T-scheduler
+// moves, membership changes, fault-counter movement, and anomaly flags
+// — the stream a log pipeline tails while the gauges above carry the
+// continuous signals. Events are emitted at boundary cadence by the
+// boundary's virtual rank 0 only, so the mutex below never sits on a
+// hot path.
+
+// Event types.
+const (
+	EventBoundary   = "boundary"   // an aggregation boundary completed
+	EventTChange    = "t_change"   // the effective communication period moved
+	EventMembership = "membership" // the live rank set changed
+	EventFault      = "fault"      // fault counters moved (drops/retries/evictions/crashes)
+	EventAnomaly    = "anomaly"    // the straggler detector flagged a rank
+)
+
+// Event is one NDJSON record. TNs is ns on the registry's monotonic
+// clock (Registry.Emit stamps it when zero).
+type Event struct {
+	TNs      int64   `json:"t_ns"`
+	Type     string  `json:"type"`
+	Rank     int     `json:"rank,omitempty"`
+	Boundary int     `json:"boundary,omitempty"`
+	T        int     `json:"t,omitempty"`
+	Live     int     `json:"live,omitempty"`
+	Value    float64 `json:"value,omitempty"`
+	Note     string  `json:"note,omitempty"`
+}
+
+// EventLog writes events as NDJSON to a writer. All methods are
+// nil-safe; writes are serialized by a mutex (boundary cadence only).
+type EventLog struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	n   atomic.Int64
+	err atomic.Pointer[error]
+}
+
+// NewEventLog returns an event log writing NDJSON to w.
+func NewEventLog(w io.Writer) *EventLog {
+	return &EventLog{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event line (no-op on nil). The first write error is
+// retained (Err) and later emits are dropped.
+func (l *EventLog) Emit(ev Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err.Load() != nil {
+		return
+	}
+	if err := l.enc.Encode(ev); err != nil {
+		l.err.Store(&err)
+		return
+	}
+	l.n.Add(1)
+}
+
+// Count returns the number of events written (0 on nil).
+func (l *EventLog) Count() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.n.Load()
+}
+
+// Err returns the first write error, if any (nil on nil).
+func (l *EventLog) Err() error {
+	if l == nil {
+		return nil
+	}
+	if p := l.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}

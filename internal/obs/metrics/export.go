@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Exporters: the Prometheus text exposition (version 0.0.4 — what a
+// scrape of /debug/metrics returns) and the JSON snapshot embedded in
+// the /debug/obs live view. Both read only atomics (plus the fleet
+// mutex), so they are safe while the run is in flight. Output is
+// sorted by series name, so scrapes and snapshots are deterministic.
+
+// WritePrometheus writes every instrument in the text exposition
+// format. Nil-safe: a nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	cs, gs, hs, _ := r.snapshotLists()
+	var b strings.Builder
+	lastType := ""
+	typeLine := func(name, kind string) {
+		if name != lastType {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", name, kind)
+			lastType = name
+		}
+	}
+	for _, c := range cs {
+		typeLine(c.name, "counter")
+		fmt.Fprintf(&b, "%s %d\n", c.full, c.Value())
+	}
+	for _, g := range gs {
+		typeLine(g.name, "gauge")
+		fmt.Fprintf(&b, "%s %s\n", g.full, formatFloat(g.Value()))
+	}
+	for _, h := range hs {
+		typeLine(h.name, "histogram")
+		cum := int64(0)
+		for i, bound := range h.bounds {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(&b, "%s %d\n",
+				withLabel(h.name, h.labels, "le", formatFloat(bound)), cum)
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		fmt.Fprintf(&b, "%s %d\n", withLabel(h.name, h.labels, "le", "+Inf"), cum)
+		fmt.Fprintf(&b, "%s %s\n", fullName(h.name+"_sum", h.labels), formatFloat(h.Sum()))
+		fmt.Fprintf(&b, "%s %d\n", fullName(h.name+"_count", h.labels), h.Count())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// withLabel renders name{labels...,k="v"} with one extra label pair
+// (the histogram bucket's le).
+func withLabel(name string, kv []string, k, v string) string {
+	all := make([]string, 0, len(kv)+2)
+	all = append(all, kv...)
+	if len(all)%2 == 1 {
+		all = all[:len(all)-1]
+	}
+	all = append(all, k, v)
+	return fmt.Sprintf("%s_bucket%s", name, fullName("", all))
+}
+
+// formatFloat renders a float the shortest way that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Snap is the registry's JSON snapshot shape (served inside the
+// /debug/obs live view and by the fleet summary printers).
+type Snap struct {
+	Counters   map[string]int64      `json:"counters,omitempty"`
+	Gauges     map[string]float64    `json:"gauges,omitempty"`
+	Histograms map[string]HistSnap   `json:"histograms,omitempty"`
+	Series     map[string]SeriesSnap `json:"series,omitempty"`
+	Fleet      *FleetSnap            `json:"fleet,omitempty"`
+	Events     int64                 `json:"events,omitempty"`
+}
+
+// HistSnap is one histogram's snapshot.
+type HistSnap struct {
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"` // per-bucket (not cumulative); last is +Inf overflow
+}
+
+// SeriesSnap is one sample ring's snapshot: the retained window.
+type SeriesSnap struct {
+	Len    int       `json:"len"` // samples ever recorded
+	Stamps []int64   `json:"stamps"`
+	Values []float64 `json:"values"`
+}
+
+// Snapshot returns the live JSON view (nil on a nil registry).
+func (r *Registry) Snapshot() *Snap {
+	if r == nil {
+		return nil
+	}
+	cs, gs, hs, rs := r.snapshotLists()
+	s := &Snap{}
+	if len(cs) > 0 {
+		s.Counters = make(map[string]int64, len(cs))
+		for _, c := range cs {
+			s.Counters[c.full] = c.Value()
+		}
+	}
+	if len(gs) > 0 {
+		s.Gauges = make(map[string]float64, len(gs))
+		for _, g := range gs {
+			s.Gauges[g.full] = g.Value()
+		}
+	}
+	if len(hs) > 0 {
+		s.Histograms = make(map[string]HistSnap, len(hs))
+		for _, h := range hs {
+			hb := HistSnap{
+				Count:  h.Count(),
+				Sum:    h.Sum(),
+				Bounds: append([]float64(nil), h.bounds...),
+			}
+			hb.Buckets = make([]int64, len(h.buckets))
+			for i := range h.buckets {
+				hb.Buckets[i] = h.buckets[i].Load()
+			}
+			s.Histograms[h.full] = hb
+		}
+	}
+	if len(rs) > 0 {
+		s.Series = make(map[string]SeriesSnap, len(rs))
+		for _, ring := range rs {
+			stamps, vals := ring.Samples()
+			s.Series[ring.full] = SeriesSnap{Len: ring.Len(), Stamps: stamps, Values: vals}
+		}
+	}
+	s.Fleet = r.Fleet().Snapshot()
+	s.Events = r.Events().Count()
+	return s
+}

@@ -1,0 +1,321 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+)
+
+// The fleet metrics frame: a fixed FrameWords-word-per-rank float64
+// block that piggybacks on the training run's aggregation boundaries.
+// Each rank zeroes a p×FrameWords buffer, writes its own slot, and the
+// group sums the buffer with the same tree allreduce the gradients use
+// — summing disjoint slots is concatenation, so after the collective
+// every rank holds the whole fleet's latest health block and the
+// current virtual rank 0 ingests it into the shared Fleet view. The
+// exchange rides the existing Group (pooled buffers, fault-aware
+// membership), adds a fixed, traffic-pinned word count per boundary,
+// and never touches gradient values, so enabling metrics leaves
+// training bitwise identical.
+//
+// A dead or evicted rank simply stops contributing: its slot stays
+// zero, its Live word reads 0, and the fleet view carries it as
+// not-live — no sentinel protocol needed.
+
+// Frame field offsets within one rank's slot.
+const (
+	frameRank       = iota // run-physical rank id
+	frameLive              // 1 when the rank filled its slot this boundary
+	frameBoundary          // boundaries this rank has completed
+	frameT                 // communication period in effect after this boundary
+	frameDriftSq           // ‖x_i − ref‖² over the interval (pre-reset)
+	frameComputeNs         // wall ns spent in local compute this interval
+	frameWallNs            // wall ns of the whole interval
+	frameSimCompute        // simulated compute seconds this interval
+	frameSimComm           // simulated communication seconds this interval
+	frameRatio             // working top-k fraction (0 when not compressing)
+	frameSent2             // cumulative codec ‖sent‖² (error-feedback ledger)
+	frameResid2            // cumulative codec ‖residual‖²
+
+	// FrameWords is the per-rank frame width in float64 words.
+	FrameWords
+)
+
+// FrameBuf returns a zeroed fleet buffer for p ranks.
+func FrameBuf(p int) []float64 { return make([]float64, p*FrameWords) }
+
+// FrameTrafficWords returns the words a binomial-tree allreduce of the
+// fleet buffer moves per boundary at live learner count p: the reduce
+// leg and the broadcast leg each carry p−1 messages of p·FrameWords
+// words. This is the whole wire cost of the telemetry plane, pinned by
+// the traffic tests.
+func FrameTrafficWords(p int) int64 {
+	return int64(2*(p-1)) * int64(p) * FrameWords
+}
+
+// Frame is one rank's decoded health block.
+type Frame struct {
+	Rank       int     `json:"rank"`
+	Live       bool    `json:"live"`
+	Boundary   int     `json:"boundary"`
+	T          int     `json:"t"`
+	DriftSq    float64 `json:"drift_sq"`
+	ComputeNs  float64 `json:"compute_ns"`
+	WallNs     float64 `json:"wall_ns"`
+	SimCompute float64 `json:"sim_compute_s"`
+	SimComm    float64 `json:"sim_comm_s"`
+	Ratio      float64 `json:"ratio"`
+	Sent2      float64 `json:"sent2"`
+	Resid2     float64 `json:"resid2"`
+}
+
+// Encode writes f into its slot of a fleet buffer.
+func (f Frame) Encode(buf []float64) {
+	s := buf[f.Rank*FrameWords : (f.Rank+1)*FrameWords]
+	s[frameRank] = float64(f.Rank)
+	s[frameLive] = 0
+	if f.Live {
+		s[frameLive] = 1
+	}
+	s[frameBoundary] = float64(f.Boundary)
+	s[frameT] = float64(f.T)
+	s[frameDriftSq] = f.DriftSq
+	s[frameComputeNs] = f.ComputeNs
+	s[frameWallNs] = f.WallNs
+	s[frameSimCompute] = f.SimCompute
+	s[frameSimComm] = f.SimComm
+	s[frameRatio] = f.Ratio
+	s[frameSent2] = f.Sent2
+	s[frameResid2] = f.Resid2
+}
+
+// DecodeFrame reads rank r's slot out of a fleet buffer.
+func DecodeFrame(buf []float64, r int) Frame {
+	s := buf[r*FrameWords : (r+1)*FrameWords]
+	return Frame{
+		Rank:       r,
+		Live:       s[frameLive] != 0,
+		Boundary:   int(s[frameBoundary]),
+		T:          int(s[frameT]),
+		DriftSq:    s[frameDriftSq],
+		ComputeNs:  s[frameComputeNs],
+		WallNs:     s[frameWallNs],
+		SimCompute: s[frameSimCompute],
+		SimComm:    s[frameSimComm],
+		Ratio:      s[frameRatio],
+		Sent2:      s[frameSent2],
+		Resid2:     s[frameResid2],
+	}
+}
+
+// RankHealth is the fleet view's per-rank state: the latest frame plus
+// cumulative totals and the anomaly detector's verdict.
+type RankHealth struct {
+	Frame
+	TotComputeNs  float64 `json:"tot_compute_ns"`
+	TotWallNs     float64 `json:"tot_wall_ns"`
+	TotSimCompute float64 `json:"tot_sim_compute_s"`
+	TotSimComm    float64 `json:"tot_sim_comm_s"`
+	Z             float64 `json:"z"`       // latest leave-one-out z-score of the compute signal
+	Flagged       bool    `json:"flagged"` // straggler/anomaly verdict (sticky)
+}
+
+// Fleet is the cross-rank health view rank 0 maintains: the latest
+// decoded frame per rank, cumulative per-rank totals, fleet-level
+// gauges in the registry, and the straggler detector. Ingest runs at
+// boundary cadence under a mutex — the hot path never touches it.
+type Fleet struct {
+	reg *Registry
+	p   int
+	det *Detector
+
+	gLive     *Gauge
+	gT        *Gauge
+	gDrift    *Gauge
+	gBoundary *Gauge
+	gRatio    *Gauge
+	gCaptured *Gauge
+	cAnomaly  *Counter
+	rDrift    *SampleRing
+
+	mu         sync.Mutex
+	boundaries int64
+	lastLive   int
+	lastT      int
+	ranks      []RankHealth
+	sig        []float64 // detector scratch: per-rank compute signal
+	liveMask   []bool
+}
+
+// NewFleet builds the fleet view for p ranks, registers its gauges on
+// reg, and attaches itself as reg's fleet. Nil-safe: a nil registry
+// returns a nil fleet, whose methods are no-ops.
+func NewFleet(reg *Registry, p int) *Fleet {
+	if reg == nil {
+		return nil
+	}
+	f := &Fleet{
+		reg: reg,
+		p:   p,
+		det: NewDetector(p, 0, 0, 0),
+
+		gLive:     reg.Gauge("sasgd_fleet_live_ranks"),
+		gT:        reg.Gauge("sasgd_fleet_effective_t"),
+		gDrift:    reg.Gauge("sasgd_fleet_drift_rms"),
+		gBoundary: reg.Gauge("sasgd_fleet_boundaries"),
+		gRatio:    reg.Gauge("sasgd_fleet_compress_ratio"),
+		gCaptured: reg.Gauge("sasgd_fleet_captured_mass"),
+		cAnomaly:  reg.Counter("sasgd_fleet_anomalies_total"),
+		rDrift:    reg.Ring("sasgd_fleet_drift_rms_series", 0),
+
+		ranks:    make([]RankHealth, p),
+		sig:      make([]float64, p),
+		liveMask: make([]bool, p),
+	}
+	for r := range f.ranks {
+		f.ranks[r].Rank = r
+	}
+	reg.SetFleet(f)
+	return f
+}
+
+// Detector returns the fleet's straggler detector (nil on nil fleet),
+// so callers can tune thresholds before the run starts.
+func (f *Fleet) Detector() *Detector {
+	if f == nil {
+		return nil
+	}
+	return f.det
+}
+
+// Ingest decodes one boundary's summed fleet buffer, updates the
+// per-rank view, the fleet gauges and the drift series, runs the
+// straggler detector, and emits boundary / t_change / membership /
+// anomaly events. Called by the boundary's virtual rank 0 only.
+func (f *Fleet) Ingest(stamp int64, buf []float64) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.boundaries++
+
+	live, t := 0, 0
+	driftSq, refBoundary := 0.0, 0
+	ratio, sent2, resid2 := 0.0, 0.0, 0.0
+	for r := 0; r < f.p && (r+1)*FrameWords <= len(buf); r++ {
+		fr := DecodeFrame(buf, r)
+		h := &f.ranks[r]
+		h.Frame = fr
+		f.liveMask[r] = fr.Live
+		f.sig[r] = 0
+		if !fr.Live {
+			continue
+		}
+		live++
+		h.TotComputeNs += fr.ComputeNs
+		h.TotWallNs += fr.WallNs
+		h.TotSimCompute += fr.SimCompute
+		h.TotSimComm += fr.SimComm
+		driftSq += fr.DriftSq
+		if fr.T > t {
+			t = fr.T
+		}
+		if fr.Boundary > refBoundary {
+			refBoundary = fr.Boundary
+		}
+		if fr.Ratio > ratio {
+			ratio = fr.Ratio
+		}
+		sent2 += fr.Sent2
+		resid2 += fr.Resid2
+		// The straggler signal: simulated compute when the fabric
+		// simulator priced the interval (deterministic, straggler
+		// slowdowns included), wall compute otherwise.
+		if fr.SimCompute > 0 {
+			f.sig[r] = fr.SimCompute
+		} else {
+			f.sig[r] = fr.ComputeNs
+		}
+	}
+	drift := 0.0
+	if live > 0 {
+		drift = math.Sqrt(driftSq / float64(live))
+	}
+
+	f.gLive.SetInt(int64(live))
+	f.gT.SetInt(int64(t))
+	f.gDrift.Set(drift)
+	f.gBoundary.SetInt(f.boundaries)
+	f.gRatio.Set(ratio)
+	if tot := sent2 + resid2; tot > 0 {
+		f.gCaptured.Set(sent2 / tot)
+	}
+	f.rDrift.RecordAt(stamp, drift)
+
+	f.reg.Emit(Event{TNs: stamp, Type: EventBoundary, Boundary: refBoundary,
+		Live: live, T: t, Value: drift})
+	if f.boundaries > 1 && t != f.lastT {
+		f.reg.Emit(Event{TNs: stamp, Type: EventTChange, Boundary: refBoundary,
+			Live: live, T: t, Note: "adaptive/decay period moved"})
+	}
+	if f.boundaries > 1 && live != f.lastLive {
+		f.reg.Emit(Event{TNs: stamp, Type: EventMembership, Boundary: refBoundary,
+			Live: live, T: t, Note: "live set changed"})
+	}
+	f.lastT, f.lastLive = t, live
+
+	newly := f.det.Observe(f.sig, f.liveMask)
+	for r := range f.ranks {
+		f.ranks[r].Z = f.det.Z(r)
+		f.ranks[r].Flagged = f.det.Flagged(r)
+	}
+	for _, r := range newly {
+		f.cAnomaly.Inc()
+		f.reg.Emit(Event{TNs: stamp, Type: EventAnomaly, Rank: r,
+			Boundary: refBoundary, Live: live, T: t,
+			Value: f.det.Z(r), Note: "phase timing outside peer z-band"})
+	}
+}
+
+// FleetSnap is the fleet view's JSON shape.
+type FleetSnap struct {
+	Boundaries int64        `json:"boundaries"`
+	Live       int          `json:"live"`
+	T          int          `json:"t"`
+	DriftRMS   float64      `json:"drift_rms"`
+	Ranks      []RankHealth `json:"ranks"`
+	Anomalies  []int        `json:"anomalies"` // flagged ranks, ascending
+}
+
+// Snapshot returns the current fleet view (nil on nil fleet). Safe at
+// any time — Ingest holds the same mutex.
+func (f *Fleet) Snapshot() *FleetSnap {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := &FleetSnap{
+		Boundaries: f.boundaries,
+		Live:       f.lastLive,
+		T:          f.lastT,
+		DriftRMS:   f.gDrift.Value(),
+		Ranks:      append([]RankHealth(nil), f.ranks...),
+		Anomalies:  []int{},
+	}
+	for r := range f.ranks {
+		if f.ranks[r].Flagged {
+			s.Anomalies = append(s.Anomalies, r)
+		}
+	}
+	return s
+}
+
+// Anomalies returns the currently flagged ranks, ascending (nil-safe).
+func (f *Fleet) Anomalies() []int {
+	s := f.Snapshot()
+	if s == nil {
+		return nil
+	}
+	return s.Anomalies
+}

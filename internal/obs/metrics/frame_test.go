@@ -1,0 +1,233 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFrameEncodeDecodeRoundTrip(t *testing.T) {
+	buf := FrameBuf(4)
+	f := Frame{
+		Rank: 2, Live: true, Boundary: 7, T: 8,
+		DriftSq: 0.5, ComputeNs: 1e6, WallNs: 2e6,
+		SimCompute: 0.25, SimComm: 0.125,
+		Ratio: 0.05, Sent2: 3, Resid2: 1,
+	}
+	f.Encode(buf)
+	got := DecodeFrame(buf, 2)
+	if got != f {
+		t.Fatalf("round trip: got %+v, want %+v", got, f)
+	}
+	// Other slots stay zero/not-live.
+	for _, r := range []int{0, 1, 3} {
+		if DecodeFrame(buf, r).Live {
+			t.Fatalf("rank %d decoded live from an empty slot", r)
+		}
+	}
+}
+
+// Summing per-rank buffers with disjoint filled slots must equal
+// concatenation — the property that lets the fleet frame ride a plain
+// sum-allreduce.
+func TestFrameSumIsConcatenation(t *testing.T) {
+	const p = 3
+	sum := FrameBuf(p)
+	for r := 0; r < p; r++ {
+		own := FrameBuf(p)
+		Frame{Rank: r, Live: true, Boundary: 1, T: 2, DriftSq: float64(r) + 0.5}.Encode(own)
+		for i := range sum {
+			sum[i] += own[i]
+		}
+	}
+	for r := 0; r < p; r++ {
+		f := DecodeFrame(sum, r)
+		if !f.Live || f.Rank != r || f.DriftSq != float64(r)+0.5 {
+			t.Fatalf("rank %d after sum: %+v", r, f)
+		}
+	}
+}
+
+func TestFrameTrafficWords(t *testing.T) {
+	// Tree allreduce: (p−1) reduce messages + (p−1) broadcast messages,
+	// each p·FrameWords long.
+	if got, want := FrameTrafficWords(8), int64(2*7*8*FrameWords); got != want {
+		t.Fatalf("FrameTrafficWords(8) = %d, want %d", got, want)
+	}
+	if FrameTrafficWords(1) != 0 {
+		t.Fatal("single rank should move no frame words")
+	}
+}
+
+func TestFleetIngestAndSnapshot(t *testing.T) {
+	r := New()
+	var events bytes.Buffer
+	r.SetEvents(NewEventLog(&events))
+	const p = 4
+	f := NewFleet(r, p)
+	if r.Fleet() != f {
+		t.Fatal("fleet not attached to registry")
+	}
+
+	buf := FrameBuf(p)
+	for rank := 0; rank < p; rank++ {
+		Frame{Rank: rank, Live: true, Boundary: 0, T: 4, DriftSq: 0.01,
+			SimCompute: 0.1, SimComm: 0.02}.Encode(buf)
+	}
+	f.Ingest(100, buf)
+
+	snap := f.Snapshot()
+	if snap.Live != p || snap.T != 4 || snap.Boundaries != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	wantDrift := math.Sqrt(4 * 0.01 / 4)
+	if math.Abs(snap.DriftRMS-wantDrift) > 1e-15 {
+		t.Fatalf("drift rms = %g, want %g", snap.DriftRMS, wantDrift)
+	}
+	if len(snap.Anomalies) != 0 {
+		t.Fatalf("anomalies = %v, want none", snap.Anomalies)
+	}
+	if got := r.Gauge("sasgd_fleet_live_ranks").Value(); got != p {
+		t.Fatalf("live gauge = %g, want %d", got, p)
+	}
+	if got := r.Ring("sasgd_fleet_drift_rms_series", 0).Len(); got != 1 {
+		t.Fatalf("drift series has %d samples, want 1", got)
+	}
+
+	// Rank 3 dies: its slot stays zero. The view loses it and a
+	// membership event is emitted.
+	buf2 := FrameBuf(p)
+	for rank := 0; rank < p-1; rank++ {
+		Frame{Rank: rank, Live: true, Boundary: 1, T: 8, DriftSq: 0.01,
+			SimCompute: 0.1, SimComm: 0.02}.Encode(buf2)
+	}
+	f.Ingest(200, buf2)
+	snap = f.Snapshot()
+	if snap.Live != p-1 || snap.T != 8 {
+		t.Fatalf("post-death snapshot = %+v", snap)
+	}
+	if snap.Ranks[3].Live {
+		t.Fatal("dead rank still live in the view")
+	}
+	if snap.Ranks[0].TotSimCompute != 0.2 {
+		t.Fatalf("cumulative sim compute = %g, want 0.2", snap.Ranks[0].TotSimCompute)
+	}
+
+	out := events.String()
+	for _, want := range []string{
+		`"type":"boundary"`, `"type":"t_change"`, `"type":"membership"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("event log missing %s:\n%s", want, out)
+		}
+	}
+	// Every line must be valid JSON (the NDJSON contract).
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+	}
+}
+
+// A persistent straggler — one rank whose compute signal sits 4× above
+// identical peers — must be flagged after DefaultStreak boundaries,
+// with an anomaly event and counter movement; healthy peers must not.
+func TestFleetFlagsStraggler(t *testing.T) {
+	r := New()
+	var events bytes.Buffer
+	r.SetEvents(NewEventLog(&events))
+	const p, slow = 8, 2
+	f := NewFleet(r, p)
+
+	for b := 0; b < DefaultStreak+1; b++ {
+		buf := FrameBuf(p)
+		for rank := 0; rank < p; rank++ {
+			comp := 0.1
+			if rank == slow {
+				comp = 0.4
+			}
+			Frame{Rank: rank, Live: true, Boundary: b, T: 4, SimCompute: comp}.Encode(buf)
+		}
+		f.Ingest(int64(b), buf)
+	}
+	snap := f.Snapshot()
+	if len(snap.Anomalies) != 1 || snap.Anomalies[0] != slow {
+		t.Fatalf("anomalies = %v, want [%d]", snap.Anomalies, slow)
+	}
+	if !snap.Ranks[slow].Flagged || snap.Ranks[slow].Z < DefaultZ {
+		t.Fatalf("straggler rank health = %+v", snap.Ranks[slow])
+	}
+	for rank := 0; rank < p; rank++ {
+		if rank != slow && snap.Ranks[rank].Flagged {
+			t.Fatalf("healthy rank %d flagged", rank)
+		}
+	}
+	if got := r.Counter("sasgd_fleet_anomalies_total").Value(); got != 1 {
+		t.Fatalf("anomaly counter = %d, want 1", got)
+	}
+	if !strings.Contains(events.String(), `"type":"anomaly"`) {
+		t.Fatalf("no anomaly event:\n%s", events.String())
+	}
+}
+
+func TestDetectorLeaveOneOut(t *testing.T) {
+	d := NewDetector(8, 0, 1, 0) // flag on the first out-of-band boundary
+	vals := []float64{1, 1, 1, 1, 4, 1, 1, 1}
+	live := []bool{true, true, true, true, true, true, true, true}
+	newly := d.Observe(vals, live)
+	if len(newly) != 1 || newly[0] != 4 {
+		t.Fatalf("newly flagged = %v, want [4]", newly)
+	}
+	// Identical peers: the straggler's z comes from the eps·mean floor,
+	// (4−1)/(0.05·1) = 60.
+	if z := d.Z(4); math.Abs(z-60) > 1e-9 {
+		t.Fatalf("straggler z = %g, want 60", z)
+	}
+	// A healthy rank's peers include the straggler; its score must stay
+	// inside the band.
+	if z := d.Z(0); math.Abs(z) > DefaultZ {
+		t.Fatalf("healthy rank z = %g, want |z| ≤ %g", z, DefaultZ)
+	}
+	if got := d.FlaggedRanks(); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("flagged = %v, want [4]", got)
+	}
+}
+
+func TestDetectorStreakResets(t *testing.T) {
+	d := NewDetector(4, 0, 3, 0)
+	live := []bool{true, true, true, true}
+	out := []float64{1, 1, 1, 4}
+	in := []float64{1, 1, 1, 1}
+	d.Observe(out, live)
+	d.Observe(out, live)
+	d.Observe(in, live) // back in band: streak resets
+	if newly := d.Observe(out, live); len(newly) != 0 {
+		t.Fatalf("flagged after reset: %v", newly)
+	}
+	d.Observe(out, live)
+	if newly := d.Observe(out, live); len(newly) != 1 || newly[0] != 3 {
+		t.Fatalf("three consecutive out-of-band boundaries: newly = %v, want [3]", newly)
+	}
+	// Sticky: observing in-band again does not unflag.
+	d.Observe(in, live)
+	if !d.Flagged(3) {
+		t.Fatal("flag not sticky")
+	}
+}
+
+func TestDetectorIgnoresDeadAndTinyFleets(t *testing.T) {
+	d := NewDetector(3, 0, 1, 0)
+	// Two live ranks: no peer distribution, nobody flagged however far
+	// apart they sit.
+	if newly := d.Observe([]float64{1, 100, 0}, []bool{true, true, false}); newly != nil {
+		t.Fatalf("flagged with one peer: %v", newly)
+	}
+	// Dead rank's huge value must not be scored or skew peers.
+	d2 := NewDetector(4, 0, 1, 0)
+	if newly := d2.Observe([]float64{1, 1, 1, 1e9}, []bool{true, true, true, false}); newly != nil {
+		t.Fatalf("dead rank scored: %v", newly)
+	}
+}

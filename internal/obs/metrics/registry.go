@@ -1,0 +1,479 @@
+// Package metrics is the run-time telemetry plane: a lock-free,
+// zero-alloc-on-hot-path time-series registry that core, comm and nn
+// record live signals into — counters, gauges, fixed-bucket histograms
+// and ring-buffered samples with monotonic stamps — plus the fleet
+// aggregation (frame.go), the straggler/anomaly detector (anomaly.go),
+// and the exporters (Prometheus text + JSON snapshot in export.go, the
+// NDJSON structured event log in events.go).
+//
+// The package follows the obs tracer's design contract exactly:
+//
+//  1. The disabled path is provably free. Every recording method is
+//     defined on a nil-able pointer and begins with a nil check, so an
+//     instrumented hot path with metrics off (the default) pays one
+//     predicted branch per probe and zero allocations. A nil *Registry
+//     hands out nil instruments, so call sites wire probes
+//     unconditionally.
+//  2. The enabled path stays off the heap and off shared locks.
+//     Registration is mutexed (it happens once at run setup, possibly
+//     concurrently from the learner goroutines — registration is
+//     idempotent by full name, every rank gets the same instrument);
+//     recording is plain atomics on preallocated state. SampleRing
+//     additionally follows the Track ring discipline: a single writer,
+//     with the count published atomically after the slot write so the
+//     live endpoint can read a consistent prefix mid-run.
+//  3. Snapshots are safe at any time (atomics only) and exact once the
+//     writers have quiesced.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry owns a run's instruments and the shared monotonic epoch.
+// The zero value is not usable; call New. A nil *Registry is the
+// disabled telemetry plane: every method is a nil-check no-op and every
+// instrument it hands out is nil (itself a no-op recorder).
+type Registry struct {
+	epoch time.Time
+	nowFn func() int64 // test hook; nil = monotonic clock
+
+	mu       sync.Mutex
+	byKey    map[string]interface{} // full name -> instrument (idempotent registration)
+	counters []*Counter
+	gauges   []*Gauge
+	hists    []*Histogram
+	rings    []*SampleRing
+
+	events atomic.Pointer[EventLog]
+	fleet  atomic.Pointer[Fleet]
+}
+
+// New returns an enabled registry with its epoch at now.
+func New() *Registry {
+	return &Registry{epoch: time.Now(), byKey: make(map[string]interface{})}
+}
+
+// Enabled reports whether the registry records anything (false on nil).
+func (r *Registry) Enabled() bool { return r != nil }
+
+// Now reads the registry's monotonic clock in ns since its epoch (0 on
+// nil): the stamp base for SampleRing entries and duration probes.
+func (r *Registry) Now() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.now()
+}
+
+func (r *Registry) now() int64 {
+	if r.nowFn != nil {
+		return r.nowFn()
+	}
+	return int64(time.Since(r.epoch))
+}
+
+// fullName renders a Prometheus-style series name: name{k="v",...}.
+// kv is alternating key, value; an odd tail is ignored.
+func fullName(name string, kv []string) string {
+	if len(kv) < 2 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// register interns an instrument under its full name. make is called
+// under the registry lock only when the name is new; an existing entry
+// of a different kind panics (a metric name identifies one kind).
+func register[T any](r *Registry, key string, make func() *T, keep func(*T)) *T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if got, ok := r.byKey[key]; ok {
+		t, ok := got.(*T)
+		if !ok {
+			panic(fmt.Sprintf("metrics: %q re-registered as a different kind", key))
+		}
+		return t
+	}
+	t := make()
+	r.byKey[key] = t
+	keep(t)
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Counter
+
+// Counter is a monotonically increasing count. All methods are nil-safe
+// single atomics.
+type Counter struct {
+	v      atomic.Int64
+	name   string
+	labels []string
+	full   string
+}
+
+// Counter registers (or returns the existing) counter under name with
+// the given alternating label key/value pairs. Nil-safe: a nil registry
+// returns a nil counter.
+func (r *Registry) Counter(name string, kv ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := fullName(name, kv)
+	return register(r, key, func() *Counter {
+		return &Counter{name: name, labels: kv, full: key}
+	}, func(c *Counter) { r.counters = append(r.counters, c) })
+}
+
+// Add increments the counter by n (no-op on nil).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one (no-op on nil).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// ---------------------------------------------------------------------
+// Gauge
+
+// Gauge is a last-value-wins float64, stored as bits in a uint64 so
+// reads and writes are single atomics.
+type Gauge struct {
+	bits   atomic.Uint64
+	name   string
+	labels []string
+	full   string
+}
+
+// Gauge registers (or returns the existing) gauge. Nil-safe.
+func (r *Registry) Gauge(name string, kv ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := fullName(name, kv)
+	return register(r, key, func() *Gauge {
+		return &Gauge{name: name, labels: kv, full: key}
+	}, func(g *Gauge) { r.gauges = append(r.gauges, g) })
+}
+
+// Set stores v (no-op on nil).
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetInt stores an integer value (no-op on nil).
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+
+// Histogram is a fixed-bound bucket histogram (Prometheus classic
+// style: counts are per-bucket here and cumulated at export). Bounds
+// are set at registration and never change, so Observe is a linear
+// scan over a handful of bounds plus three atomics — no locks, no
+// allocation. The sum is float64 bits updated by CAS; boundary-cadence
+// and per-step recording never contend enough for the loop to matter.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last = +Inf overflow
+	count   atomic.Int64
+	sumBits atomic.Uint64
+	reg     *Registry
+	name    string
+	labels  []string
+	full    string
+}
+
+// DurationBounds are the default histogram bounds for ns-scale phase
+// timings: 1µs to ~10s in decade-and-a-half steps.
+var DurationBounds = []float64{
+	1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10,
+}
+
+// Histogram registers (or returns the existing) histogram with the
+// given ascending bucket bounds (nil selects DurationBounds). Nil-safe.
+func (r *Registry) Histogram(name string, bounds []float64, kv ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DurationBounds
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %q bounds not ascending", name))
+		}
+	}
+	key := fullName(name, kv)
+	return register(r, key, func() *Histogram {
+		return &Histogram{
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]atomic.Int64, len(bounds)+1),
+			reg:     r, name: name, labels: kv, full: key,
+		}
+	}, func(h *Histogram) { r.hists = append(r.hists, h) })
+}
+
+// Observe records one value (no-op on nil).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Begin reads the registry clock for a duration observation (0 on nil).
+func (h *Histogram) Begin() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.reg.now()
+}
+
+// EndNs observes the ns elapsed since a Begin stamp (no-op on nil).
+func (h *Histogram) EndNs(begin int64) {
+	if h == nil {
+		return
+	}
+	h.Observe(float64(h.reg.now() - begin))
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// ---------------------------------------------------------------------
+// SampleRing
+
+// SampleRing is a single-writer time series: a preallocated ring of
+// (monotonic stamp, value) samples whose count is published atomically
+// after each slot write, exactly the Track ring discipline. Snapshots
+// taken mid-run see a consistent prefix; the full ring is exact once
+// the writer has quiesced.
+type SampleRing struct {
+	stamps []int64
+	vals   []float64
+	n      atomic.Int64
+	reg    *Registry
+	name   string
+	labels []string
+	full   string
+}
+
+// DefaultRingSamples is the default SampleRing capacity.
+const DefaultRingSamples = 1024
+
+// Ring registers (or returns the existing) sample ring with the given
+// capacity (≤ 0 selects DefaultRingSamples). Nil-safe.
+func (r *Registry) Ring(name string, capacity int, kv ...string) *SampleRing {
+	if r == nil {
+		return nil
+	}
+	if capacity <= 0 {
+		capacity = DefaultRingSamples
+	}
+	key := fullName(name, kv)
+	return register(r, key, func() *SampleRing {
+		return &SampleRing{
+			stamps: make([]int64, capacity),
+			vals:   make([]float64, capacity),
+			reg:    r, name: name, labels: kv, full: key,
+		}
+	}, func(s *SampleRing) { r.rings = append(r.rings, s) })
+}
+
+// Record appends a sample stamped with the registry clock (no-op on
+// nil). Single writer only, like Track.record.
+func (s *SampleRing) Record(v float64) {
+	if s == nil {
+		return
+	}
+	s.RecordAt(s.reg.now(), v)
+}
+
+// RecordAt appends a sample with an explicit stamp (no-op on nil).
+func (s *SampleRing) RecordAt(stamp int64, v float64) {
+	if s == nil {
+		return
+	}
+	i := s.n.Load()
+	slot := i % int64(len(s.vals))
+	s.stamps[slot] = stamp
+	s.vals[slot] = v
+	// Publish after the slot write so concurrent snapshot readers never
+	// observe slot i half-written.
+	s.n.Store(i + 1)
+}
+
+// Len returns the number of samples ever recorded (0 on nil).
+func (s *SampleRing) Len() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.n.Load())
+}
+
+// Last returns the most recent sample (zero, false when empty or nil).
+func (s *SampleRing) Last() (stamp int64, v float64, ok bool) {
+	if s == nil {
+		return 0, 0, false
+	}
+	n := s.n.Load()
+	if n == 0 {
+		return 0, 0, false
+	}
+	slot := (n - 1) % int64(len(s.vals))
+	return s.stamps[slot], s.vals[slot], true
+}
+
+// Samples returns the retained samples oldest-first. Mid-run it returns
+// the published prefix; exact once the writer has quiesced.
+func (s *SampleRing) Samples() (stamps []int64, vals []float64) {
+	if s == nil {
+		return nil, nil
+	}
+	n := s.n.Load()
+	c := int64(len(s.vals))
+	if n <= c {
+		return append([]int64(nil), s.stamps[:n]...), append([]float64(nil), s.vals[:n]...)
+	}
+	head := n % c
+	stamps = make([]int64, c)
+	vals = make([]float64, c)
+	copy(stamps, s.stamps[head:])
+	copy(stamps[c-head:], s.stamps[:head])
+	copy(vals, s.vals[head:])
+	copy(vals[c-head:], s.vals[:head])
+	return stamps, vals
+}
+
+// snapshotLists returns stable copies of the instrument lists, sorted
+// by full name so exports are deterministic.
+func (r *Registry) snapshotLists() (cs []*Counter, gs []*Gauge, hs []*Histogram, rs []*SampleRing) {
+	r.mu.Lock()
+	cs = append(cs, r.counters...)
+	gs = append(gs, r.gauges...)
+	hs = append(hs, r.hists...)
+	rs = append(rs, r.rings...)
+	r.mu.Unlock()
+	sort.Slice(cs, func(i, j int) bool { return cs[i].full < cs[j].full })
+	sort.Slice(gs, func(i, j int) bool { return gs[i].full < gs[j].full })
+	sort.Slice(hs, func(i, j int) bool { return hs[i].full < hs[j].full })
+	sort.Slice(rs, func(i, j int) bool { return rs[i].full < rs[j].full })
+	return
+}
+
+// SetEvents attaches an NDJSON event sink (nil detaches). Nil-safe.
+func (r *Registry) SetEvents(l *EventLog) {
+	if r == nil {
+		return
+	}
+	if l == nil {
+		r.events.Store(nil)
+		return
+	}
+	r.events.Store(l)
+}
+
+// Events returns the attached event sink (nil when none or on nil).
+func (r *Registry) Events() *EventLog {
+	if r == nil {
+		return nil
+	}
+	return r.events.Load()
+}
+
+// Emit stamps ev with the registry clock (when TNs is zero) and writes
+// it to the attached event sink. No-op on nil or without a sink.
+func (r *Registry) Emit(ev Event) {
+	if r == nil {
+		return
+	}
+	l := r.events.Load()
+	if l == nil {
+		return
+	}
+	if ev.TNs == 0 {
+		ev.TNs = r.now()
+	}
+	l.Emit(ev)
+}
+
+// SetFleet attaches the fleet view (frame.go). Nil-safe.
+func (r *Registry) SetFleet(f *Fleet) {
+	if r == nil || f == nil {
+		return
+	}
+	r.fleet.Store(f)
+}
+
+// Fleet returns the attached fleet view (nil when none or on nil).
+func (r *Registry) Fleet() *Fleet {
+	if r == nil {
+		return nil
+	}
+	return r.fleet.Load()
+}

@@ -1,0 +1,243 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The disabled path is the contract every instrumented hot path relies
+// on: every method of every instrument must be a safe no-op on nil,
+// with zero allocations (the AllocsPerRun pin scripts/check.sh runs).
+func TestNilRegistryIsSafeAndFree(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", nil)
+	ring := r.Ring("s", 0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		c.Inc()
+		g.Set(1)
+		g.SetInt(2)
+		h.Observe(3)
+		h.EndNs(h.Begin())
+		ring.Record(4)
+		ring.RecordAt(0, 5)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled metrics path allocates %.1f per round, want 0", allocs)
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || ring.Len() != 0 {
+		t.Fatal("nil instruments reported non-zero state")
+	}
+	if _, _, ok := ring.Last(); ok {
+		t.Fatal("nil ring reported a sample")
+	}
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Fatalf("nil registry WritePrometheus: %v", err)
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry returned a snapshot")
+	}
+	r.Emit(Event{Type: EventBoundary})
+	var f *Fleet
+	f.Ingest(0, nil)
+	if f.Snapshot() != nil || f.Anomalies() != nil || f.Detector() != nil {
+		t.Fatal("nil fleet returned state")
+	}
+}
+
+// The enabled record path must also stay alloc-free: counters, gauges
+// and histograms are plain atomics, the ring writes preallocated slots.
+func TestEnabledRecordIsAllocFree(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", nil)
+	ring := r.Ring("s", 64)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(2.5)
+		h.Observe(1e6)
+		ring.Record(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled metrics record allocates %.1f per round, want 0", allocs)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("reqs", "rank", "3")
+	c.Add(41)
+	c.Inc()
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	if c2 := r.Counter("reqs", "rank", "3"); c2 != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	if c3 := r.Counter("reqs", "rank", "4"); c3 == c {
+		t.Fatal("different labels returned the same counter")
+	}
+	g := r.Gauge("temp")
+	g.Set(3.5)
+	if g.Value() != 3.5 {
+		t.Fatalf("gauge = %g, want 3.5", g.Value())
+	}
+	g.SetInt(7)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %g, want 7", g.Value())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x as a gauge after a counter did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", []float64{10, 100, 1000})
+	for _, v := range []float64{5, 10, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 5565 {
+		t.Fatalf("sum = %g, want 5565", h.Sum())
+	}
+	want := []int64{2, 1, 1, 1} // ≤10: {5,10}; ≤100: {50}; ≤1000: {500}; +Inf: {5000}
+	for i, w := range want {
+		if got := h.buckets[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestSampleRingStampsAndWrap(t *testing.T) {
+	r := New()
+	now := int64(0)
+	r.nowFn = func() int64 { now += 10; return now }
+	ring := r.Ring("drift", 4)
+	for i := 0; i < 6; i++ {
+		ring.Record(float64(i))
+	}
+	if ring.Len() != 6 {
+		t.Fatalf("len = %d, want 6", ring.Len())
+	}
+	stamps, vals := ring.Samples()
+	if len(vals) != 4 {
+		t.Fatalf("retained %d samples, want 4", len(vals))
+	}
+	// Oldest-first after the wrap: samples 2..5 at stamps 30..60.
+	for i := range vals {
+		if vals[i] != float64(i+2) || stamps[i] != int64(30+10*i) {
+			t.Fatalf("sample %d = (%d, %g), want (%d, %g)", i, stamps[i], vals[i], 30+10*i, float64(i+2))
+		}
+		if i > 0 && stamps[i] <= stamps[i-1] {
+			t.Fatalf("stamps not monotonic: %v", stamps)
+		}
+	}
+	if st, v, ok := ring.Last(); !ok || v != 5 || st != 60 {
+		t.Fatalf("last = (%d, %g, %v), want (60, 5, true)", st, v, ok)
+	}
+}
+
+// Concurrent registration and recording from many goroutines: the
+// race-detector leg in scripts/check.sh runs this with -race. Every
+// goroutine must get the same instrument for the same name and no
+// update may be lost.
+func TestConcurrentRegistryWrites(t *testing.T) {
+	r := New()
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("shared_total")
+			own := r.Counter("rank_total", "rank", string(rune('0'+g)))
+			h := r.Histogram("shared_hist", nil)
+			gauge := r.Gauge("shared_gauge")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				own.Inc()
+				h.Observe(float64(i))
+				gauge.Set(float64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != goroutines*perG {
+		t.Fatalf("shared counter = %d, want %d", got, goroutines*perG)
+	}
+	for g := 0; g < goroutines; g++ {
+		if got := r.Counter("rank_total", "rank", string(rune('0'+g))).Value(); got != perG {
+			t.Fatalf("rank %d counter = %d, want %d", g, got, perG)
+		}
+	}
+	if got := r.Histogram("shared_hist", nil).Count(); got != goroutines*perG {
+		t.Fatalf("hist count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := New()
+	r.Counter("sasgd_boundaries_total").Add(3)
+	r.Gauge("sasgd_drift_rms", "rank", "0").Set(0.25)
+	h := r.Histogram("sasgd_fwd_ns", []float64{100, 200})
+	h.Observe(50)
+	h.Observe(150)
+	h.Observe(500)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE sasgd_boundaries_total counter\n",
+		"sasgd_boundaries_total 3\n",
+		"# TYPE sasgd_drift_rms gauge\n",
+		`sasgd_drift_rms{rank="0"} 0.25` + "\n",
+		"# TYPE sasgd_fwd_ns histogram\n",
+		`sasgd_fwd_ns_bucket{le="100"} 1` + "\n",
+		`sasgd_fwd_ns_bucket{le="200"} 2` + "\n",
+		`sasgd_fwd_ns_bucket{le="+Inf"} 3` + "\n",
+		"sasgd_fwd_ns_sum 700\n",
+		"sasgd_fwd_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotShape(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(2)
+	r.Gauge("g").Set(1.5)
+	r.Ring("s", 8).Record(9)
+	s := r.Snapshot()
+	if s.Counters["c"] != 2 || s.Gauges["g"] != 1.5 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	ss, ok := s.Series["s"]
+	if !ok || ss.Len != 1 || len(ss.Values) != 1 || ss.Values[0] != 9 {
+		t.Fatalf("series snapshot = %+v", ss)
+	}
+}

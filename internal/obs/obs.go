@@ -31,6 +31,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sasgd/internal/obs/metrics"
 )
 
 // Phase identifies one instrumented span type. The set covers the SASGD
@@ -232,6 +234,7 @@ type Tracer struct {
 	mu       sync.Mutex
 	tracks   []*Track
 	statsFn  atomic.Value // func() interface{} — live comm-stats source
+	metrics  atomic.Pointer[metrics.Registry]
 }
 
 // NewTracer returns a tracer whose tracks hold trackSpans spans each
@@ -343,4 +346,22 @@ func (tr *Tracer) Stats() interface{} {
 		return f()
 	}
 	return nil
+}
+
+// SetMetrics attaches a metrics registry to the debug plane: the live
+// snapshot embeds its JSON view and the debug mux gains the
+// /debug/metrics Prometheus exposition. Nil-safe both ways.
+func (tr *Tracer) SetMetrics(reg *metrics.Registry) {
+	if tr == nil || reg == nil {
+		return
+	}
+	tr.metrics.Store(reg)
+}
+
+// Metrics returns the attached registry (nil when none).
+func (tr *Tracer) Metrics() *metrics.Registry {
+	if tr == nil {
+		return nil
+	}
+	return tr.metrics.Load()
 }

@@ -1,0 +1,57 @@
+#!/bin/sh
+# Compares two BENCH_*.json baselines (as written by bench_obs.sh /
+# bench_metrics.sh / bench_gemm.sh) and fails when any benchmark shared
+# by both files regressed by more than THRESHOLD percent. Benchmarks
+# present in only one file are reported but never fail the gate, so the
+# diff stays usable across baselines that gained or lost legs.
+#
+#   scripts/bench_diff.sh OLD.json NEW.json
+#   THRESHOLD=25 scripts/bench_diff.sh BENCH_METRICS.json.base BENCH_METRICS.json
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 OLD.json NEW.json" >&2
+    exit 2
+fi
+old="$1"
+new="$2"
+threshold="${THRESHOLD:-10}"
+
+awk -v threshold="$threshold" '
+# Each results line looks like:  "Name": {"ns_per_op": 123.4},
+/"ns_per_op"/ {
+    line = $0
+    gsub(/[",{}:]/, " ", line)
+    split(line, f, /[ \t]+/)
+    # After stripping punctuation the fields are: Name ns_per_op value
+    name = ""; val = ""
+    for (i = 1; i <= length(f); i++) {
+        if (f[i] == "ns_per_op") { val = f[i+1]; break }
+        if (f[i] != "") name = f[i]
+    }
+    if (name == "" || val == "") next
+    if (NR == FNR) oldns[name] = val + 0
+    else newns[name] = val + 0
+}
+END {
+    fail = 0
+    printf "%-28s %12s %12s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+    for (name in oldns) {
+        if (!(name in newns)) {
+            printf "%-28s %12.2f %12s %9s\n", name, oldns[name], "-", "gone"
+            continue
+        }
+        delta = 100 * (newns[name] - oldns[name]) / oldns[name]
+        mark = ""
+        if (delta > threshold) { mark = "  FAIL"; fail = 1 }
+        printf "%-28s %12.2f %12.2f %+8.1f%%%s\n", name, oldns[name], newns[name], delta, mark
+    }
+    for (name in newns)
+        if (!(name in oldns))
+            printf "%-28s %12s %12.2f %9s\n", name, "-", newns[name], "new"
+    if (fail) {
+        printf "FAIL: regression above %s%%\n", threshold
+        exit 1
+    }
+    printf "OK: no benchmark regressed more than %s%%\n", threshold
+}' "$old" "$new"

@@ -1,0 +1,49 @@
+#!/bin/sh
+# Regenerates BENCH_METRICS.json: the metrics registry's overhead pins.
+# BenchmarkMetricsDisabledProbe pins the nil-registry fast path (the
+# cost every probe pays in a run without -metrics — must stay at a few
+# ns of nil checks); BenchmarkMetricsEnabled{Counter,Gauge,Histogram,
+# Ring} pin the lock-free hot-path recording costs; BenchmarkFleetIngest
+# pins the boundary-cadence fleet frame decode + anomaly pass on rank 0.
+#
+#   scripts/bench_metrics.sh                 # 300ms/bench
+#   BENCHTIME=1s scripts/bench_metrics.sh
+#
+# Compare against a previous baseline with:
+#   scripts/bench_diff.sh BENCH_METRICS.json.old BENCH_METRICS.json
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-300ms}"
+out="BENCH_METRICS.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkMetrics|BenchmarkFleetIngest' \
+    -benchtime "$benchtime" ./internal/obs/metrics | tee "$raw"
+
+{
+    printf '{\n'
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%d)"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "gomaxprocs": %s,\n' "$(nproc)"
+    printf '  "benchtime": "%s",\n' "$benchtime"
+    printf '  "frame_words_per_rank": 12,\n'
+    printf '  "frame_traffic_words_p8": %s,\n' "$((2 * 7 * 8 * 12))"
+    printf '  "note": "MetricsDisabledProbe: ns per counter+gauge+histogram probe on a nil registry — the cost a run without -metrics pays at every instrumentation point, pinned alloc-free by TestNilRegistryIsSafeAndFree in scripts/check.sh. MetricsEnabled{Counter,Gauge,Histogram,Ring}: ns per lock-free hot-path record on a live registry. FleetIngest: ns per boundary-cadence fleet frame ingest (decode p=8 ranks + leave-one-out anomaly pass) on rank 0 — off the training hot path entirely. frame_traffic_words_p8 is the exact extra allreduce traffic per boundary at p=8: 2(p-1) tree hops x p ranks x 12 frame words, pinned by TestMetricsFrameTrafficPinned.",\n'
+    printf '  "results": {\n'
+    awk '/^Benchmark(Metrics|FleetIngest)/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        sub(/^Benchmark/, "", name)
+        lines[n++] = sprintf("    \"%s\": {\"ns_per_op\": %s}", name, $3)
+    }
+    END {
+        for (i = 0; i < n; i++)
+            printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
+    }' "$raw"
+    printf '  }\n'
+    printf '}\n'
+} > "$out"
+
+echo "wrote $out"

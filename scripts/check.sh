@@ -58,6 +58,13 @@ go test -race -count=2 -run 'Sched|Delayed|Decay|AdaptiveT|ChaosHier' ./internal
 echo "==> go test -race -count=2 obs concurrent tracing"
 go test -race -count=2 -run 'Concurrent' ./internal/obs/
 
+# The metrics registry makes the same promise one layer up: lock-free
+# counters/gauges/histograms/rings written concurrently by p learners
+# while exporters snapshot them, so its concurrency test gets the same
+# extra rounds.
+echo "==> go test -race -count=2 metrics registry concurrent writes"
+go test -race -count=2 -run 'Concurrent' ./internal/obs/metrics/
+
 # The chaos suite is the failure-handling gate: seeded fault plans
 # (stragglers, drops, crashes at scheduled boundaries) with bitwise
 # survivor-equivalence assertions. Membership changes move virtual rank
@@ -91,6 +98,8 @@ echo "==> go test bucketed + hier zero-alloc pins"
 go test -run 'SteadyStateAllocs' ./internal/comm/
 echo "==> go test obs disabled-path zero-alloc pin"
 go test -run 'NilTrackIsSafeAndFree|EnabledRecordIsAllocFree' ./internal/obs/
+echo "==> go test metrics disabled-path zero-alloc pin"
+go test -run 'NilRegistryIsSafeAndFree|EnabledRecordIsAllocFree' ./internal/obs/metrics/
 echo "==> go test tensor GEMM zero-alloc pin"
 go test -run 'GemmSteadyStateAllocs' ./internal/tensor/
 
