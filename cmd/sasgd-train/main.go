@@ -9,8 +9,10 @@
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -53,6 +55,10 @@ func main() {
 	sim := flag.Bool("sim", false, "attach the fabric simulator and report simulated epoch time")
 	vtime := flag.Bool("vtime", false, "deterministic virtual-time scheduling for the asynchronous algorithms")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file (default also via SASGD_TRACE=1 or SASGD_TRACE=path; load in ui.perfetto.dev)")
+	transport := flag.String("transport", "", "wire transport: chan (in-process fabric, the default) or tcp (length-prefixed framed sockets; default also via SASGD_TRANSPORT)")
+	rank := flag.Int("rank", -1, "with -transport tcp: the single learner rank this process hosts, meeting its peers over -peers (-1 = host every rank over TCP loopback; default also via SASGD_RANK)")
+	peers := flag.String("peers", "", "with -transport tcp -rank N: comma-separated host:port for every rank in order, e.g. 127.0.0.1:7000,127.0.0.1:7001 (default also via SASGD_PEERS)")
+	paramsOut := flag.String("params-out", "", "write the final parameters to this file as little-endian float64 words (rank-0 process only)")
 	faults := flag.String("faults", "", "SASGD fault-injection plan, e.g. seed=1,drop=0.05,slow=2:4,crash=3@10,evict=500ms (default also via SASGD_FAULTS)")
 	ckpt := flag.String("ckpt", "", "SASGD checkpoint path written at aggregation boundaries; a %d in the path keeps one file per boundary")
 	ckptEvery := flag.Int("ckpt-every", 1, "checkpoint every Nth aggregation boundary (with -ckpt)")
@@ -180,6 +186,58 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Wire transport: the flags win, the SASGD_TRANSPORT / SASGD_RANK /
+	// SASGD_PEERS envs supply defaults (same precedence as -trace).
+	trMode, trRank, trPeers := *transport, *rank, *peers
+	envT, envR, envP := core.DefaultTransport()
+	if trMode == "" {
+		trMode = envT
+	}
+	if trRank < 0 {
+		trRank = envR
+	}
+	if trPeers == "" {
+		trPeers = envP
+	}
+	switch trMode {
+	case "", "chan":
+	case "tcp":
+		if cfg.Algo != core.AlgoSASGD {
+			fmt.Fprintf(os.Stderr, "sasgd-train: -transport tcp requires -algo sasgd\n")
+			os.Exit(2)
+		}
+		var tr *comm.TCPTransport
+		var err error
+		if trRank < 0 {
+			tr, err = comm.NewTCPLoopback(cfg.Learners)
+		} else {
+			if *sim || cfg.Faults != nil || cfg.CheckpointPath != "" || cfg.ResumeFrom != "" {
+				fmt.Fprintf(os.Stderr, "sasgd-train: -rank (multi-process) composes with neither -sim nor -faults/-ckpt/-resume\n")
+				os.Exit(2)
+			}
+			addrs := strings.Split(trPeers, ",")
+			for i := range addrs {
+				addrs[i] = strings.TrimSpace(addrs[i])
+			}
+			if len(addrs) != cfg.Learners || addrs[0] == "" {
+				fmt.Fprintf(os.Stderr, "sasgd-train: -peers needs exactly %d comma-separated host:port entries, got %q\n", cfg.Learners, trPeers)
+				os.Exit(2)
+			}
+			fmt.Printf("tcp mesh: rank %d of %d, waiting for peers %v\n", trRank, cfg.Learners, addrs)
+			tr, err = comm.NewTCPTransport(comm.TCPConfig{Addrs: addrs, Local: []int{trRank}})
+			cfg.LocalRanks = []int{trRank}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sasgd-train: tcp transport: %v\n", err)
+			os.Exit(1)
+		}
+		defer tr.Close()
+		cfg.Transport = tr
+	default:
+		fmt.Fprintf(os.Stderr, "sasgd-train: unknown transport %q (want chan or tcp)\n", trMode)
+		os.Exit(2)
+	}
+
 	// Tracing: the flag wins, the SASGD_TRACE env supplies the default
 	// (same precedence as -overlap/SASGD_OVERLAP). The debug endpoint
 	// needs a tracer too, so it implies one even without a trace file.
@@ -243,6 +301,21 @@ func main() {
 	fmt.Print(tab.String())
 	fmt.Printf("final: train %s test %s (%d samples, wall %s)\n",
 		metrics.Pct(res.FinalTrain), metrics.Pct(res.FinalTest), res.Samples, res.Wall.Round(1e6))
+	if *paramsOut != "" {
+		if len(res.FinalParams) == 0 {
+			fmt.Fprintln(os.Stderr, "sasgd-train: -params-out: this process does not host rank 0, so it has no final parameters to write")
+		} else {
+			buf := make([]byte, 8*len(res.FinalParams))
+			for i, v := range res.FinalParams {
+				binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+			}
+			if err := os.WriteFile(*paramsOut, buf, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "sasgd-train: -params-out: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("final parameters: %d words written to %s\n", len(res.FinalParams), *paramsOut)
+		}
+	}
 	if res.StalenessMax > 0 {
 		fmt.Printf("gradient staleness: mean %.2f, max %d\n", res.StalenessMean, res.StalenessMax)
 	}

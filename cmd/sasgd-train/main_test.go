@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestTwoProcessTCPMatchesChannel is the end-to-end acceptance run for
+// the wire transport: two real OS processes, one learner rank each,
+// meet over a TCP mesh on loopback and must train to final parameters
+// bitwise identical to a single-process channel-fabric run of the same
+// configuration. Real processes — not goroutines — so the per-process
+// worker budget, env defaults and flag plumbing are exercised exactly
+// as a user would hit them.
+func TestTwoProcessTCPMatchesChannel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and trains three runs; skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "sasgd-train")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	common := []string{"-p", "2", "-T", "2", "-epochs", "1", "-batch", "8", "-seed", "7"}
+	run := func(extra ...string) []byte {
+		cmd := exec.Command(bin, append(append([]string{}, common...), extra...)...)
+		cmd.Env = os.Environ()
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v: %v\n%s", cmd.Args, err, out)
+		}
+		return out
+	}
+
+	chanOut := filepath.Join(dir, "chan.bin")
+	run("-params-out", chanOut)
+
+	peers := fmt.Sprintf("127.0.0.1:%d,127.0.0.1:%d", freePort(t), freePort(t))
+	tcpOut := filepath.Join(dir, "tcp.bin")
+	cmd1 := exec.Command(bin, append(append([]string{}, common...),
+		"-transport", "tcp", "-rank", "1", "-peers", peers)...)
+	cmd1.Env = os.Environ()
+	var out1 bytes.Buffer
+	cmd1.Stdout, cmd1.Stderr = &out1, &out1
+	if err := cmd1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done1 := make(chan error, 1)
+	go func() { done1 <- cmd1.Wait() }()
+
+	run("-transport", "tcp", "-rank", "0", "-peers", peers, "-params-out", tcpOut)
+	select {
+	case err := <-done1:
+		if err != nil {
+			t.Fatalf("rank-1 process: %v\n%s", err, out1.String())
+		}
+	case <-time.After(2 * time.Minute):
+		cmd1.Process.Kill()
+		t.Fatalf("rank-1 process did not exit\n%s", out1.String())
+	}
+
+	want, err := os.ReadFile(chanOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(tcpOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 || !bytes.Equal(got, want) {
+		t.Fatalf("two-process TCP final parameters differ from the channel-fabric run (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// freePort claims an ephemeral loopback port and releases it for a
+// subprocess to re-bind.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port
+}

@@ -86,6 +86,13 @@ type Scenario struct {
 	Resume      string // checkpoint to resume from
 	ResumeRanks []int  // data-physical ranks this run's learners play
 	Tracer      *obs.Tracer
+
+	// TCP routes the run's frames through a loopback TCP mesh instead
+	// of the in-process channel fabric: every drop, retry, crash and
+	// re-form plays out over real sockets and the wire codec. The
+	// scenario's observables must not change — that is the
+	// cross-transport guarantee the chaos tests replay.
+	TCP bool
 }
 
 // Run executes the scenario against prob and returns the training
@@ -99,15 +106,25 @@ func (s Scenario) Run(prob *core.Problem) (*core.Result, *GradLog) {
 		}
 	}
 	log := NewGradLog()
+	var tr comm.Transport
+	if s.TCP {
+		tcp, err := comm.NewTCPLoopback(s.P)
+		if err != nil {
+			panic(err)
+		}
+		defer tcp.Close() // idempotent; the resilient path closes it first
+		tr = tcp
+	}
 	cfg := core.Config{
-		Algo:     core.AlgoSASGD,
-		Learners: s.P,
-		Interval: s.T,
-		Batch:    s.Batch,
-		Epochs:   s.Epochs,
-		Gamma:    0.05,
-		Seed:     s.Seed,
-		Faults:   plan,
+		Algo:      core.AlgoSASGD,
+		Learners:  s.P,
+		Interval:  s.T,
+		Batch:     s.Batch,
+		Epochs:    s.Epochs,
+		Gamma:     0.05,
+		Seed:      s.Seed,
+		Faults:    plan,
+		Transport: tr,
 
 		CheckpointPath: s.Checkpoint,
 		ResumeFrom:     s.Resume,

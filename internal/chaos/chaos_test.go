@@ -76,7 +76,19 @@ func mustEqualParams(t *testing.T, got, want []float64) {
 //     ranks resumed from the crashed run's own boundary-B checkpoint —
 //     the strongest statement that eviction + re-form + γp rescaling
 //     degrade gracefully rather than changing the algorithm.
-func TestChaosScenarios(t *testing.T) {
+func TestChaosScenarios(t *testing.T) { runChaosTable(t, false) }
+
+// TestChaosScenariosTCP replays the whole chaos table with the degraded
+// run's frames carried over a loopback TCP mesh — drops, retries,
+// crashes, evictions and survivor re-forms all play out over real
+// sockets and the wire codec — while every reference run stays on the
+// in-process channel fabric. The assertions are unchanged: that IS the
+// cross-transport guarantee. The retry timeout is widened from the 2ms
+// default so real socket latency cannot fire spurious retransmissions
+// (deduped, but they would distort the fault counters).
+func TestChaosScenariosTCP(t *testing.T) { runChaosTable(t, true) }
+
+func runChaosTable(t *testing.T, tcp bool) {
 	cases := []struct {
 		name      string
 		spec      string
@@ -118,7 +130,12 @@ func TestChaosScenarios(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			prob := Synthetic(48, 24, 101)
 			dir := t.TempDir()
-			degraded := chaosScenario(tc.name, tc.spec, tc.p)
+			spec := tc.spec
+			if tcp {
+				spec += ",timeout=80ms"
+			}
+			degraded := chaosScenario(tc.name, spec, tc.p)
+			degraded.TCP = tcp
 			if tc.mode == "survivors" {
 				degraded.Checkpoint = filepath.Join(dir, "ck-%d.ckpt")
 			}

@@ -302,7 +302,7 @@ func TestBucketedAllreduceSteadyStateAllocs(t *testing.T) {
 			prefill[i] = g.acquire(words)
 		}
 		for _, pb := range prefill {
-			g.releaseMsg(message{pb: pb})
+			g.releaseMsg(Frame{pb: pb})
 		}
 	}
 	if avg := testing.AllocsPerRun(10, round); avg != 0 {

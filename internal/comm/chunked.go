@@ -147,18 +147,18 @@ func (g *Group) reduceChunk(rank int, buf []float64, c, chunkWords int, entry fl
 			// Zero-copy hand-off: the parent reads seg while reducing
 			// chunk c and does so before it forwards broadcast chunk c,
 			// which is what gates this learner's next write to seg.
-			g.sendMsgAt(rank, rank-step, message{data: seg}, ready)
+			g.sendMsgAt(rank, rank-step, Frame{Data: seg}, ready)
 			return ready
 		}
 		if peer := rank + step; peer < g.p {
 			in := g.recvMsg(rank, peer)
-			if len(in.data) != len(seg) {
-				panic(fmt.Sprintf("comm: chunked reduce length mismatch %d vs %d", len(in.data), len(seg)))
+			if len(in.Data) != len(seg) {
+				panic(fmt.Sprintf("comm: chunked reduce length mismatch %d vs %d", len(in.Data), len(seg)))
 			}
-			if in.arrive > ready {
-				ready = in.arrive
+			if in.Arrive > ready {
+				ready = in.Arrive
 			}
-			addInto(seg, in.data)
+			addInto(seg, in.Data)
 			g.releaseMsg(in)
 		}
 	}
@@ -183,15 +183,15 @@ func (g *Group) broadcastChunk(rank int, buf []float64, c, chunkWords int, ready
 			if peer := rank + step; peer < g.p {
 				pb := g.acquire(len(seg))
 				copy(pb.data, seg)
-				g.sendMsgAt(rank, peer, message{data: pb.data, pb: pb}, ready)
+				g.sendMsgAt(rank, peer, Frame{Data: pb.data, pb: pb}, ready)
 			}
 		case rank%(2*step) == step:
 			in := g.recvMsg(rank, rank-step)
-			if len(in.data) != len(seg) {
-				panic(fmt.Sprintf("comm: chunked broadcast length mismatch %d vs %d", len(in.data), len(seg)))
+			if len(in.Data) != len(seg) {
+				panic(fmt.Sprintf("comm: chunked broadcast length mismatch %d vs %d", len(in.Data), len(seg)))
 			}
-			ready = in.arrive
-			copy(seg, in.data)
+			ready = in.Arrive
+			copy(seg, in.Data)
 			g.releaseMsg(in)
 		}
 	}
@@ -260,15 +260,15 @@ func (g *Group) AllreduceRHDFrom(rank int, buf []float64, entry float64) {
 		}
 		pb := g.acquire(sendHi - sendLo)
 		copy(pb.data, buf[sendLo:sendHi])
-		g.sendMsgAt(rank, peer, message{data: pb.data, pb: pb}, ready)
+		g.sendMsgAt(rank, peer, Frame{Data: pb.data, pb: pb}, ready)
 		in := g.recvMsg(rank, peer)
-		if len(in.data) != keepHi-keepLo {
-			panic(fmt.Sprintf("comm: AllreduceRHD halving length mismatch %d vs %d", len(in.data), keepHi-keepLo))
+		if len(in.Data) != keepHi-keepLo {
+			panic(fmt.Sprintf("comm: AllreduceRHD halving length mismatch %d vs %d", len(in.Data), keepHi-keepLo))
 		}
-		if in.arrive > ready {
-			ready = in.arrive
+		if in.Arrive > ready {
+			ready = in.Arrive
 		}
-		addInto(buf[keepLo:keepHi], in.data)
+		addInto(buf[keepLo:keepHi], in.Data)
 		g.releaseMsg(in)
 		lo, hi = keepLo, keepHi
 	}
@@ -281,10 +281,10 @@ func (g *Group) AllreduceRHDFrom(rank int, buf []float64, entry float64) {
 		peer := rank ^ d
 		pb := g.acquire(hi - lo)
 		copy(pb.data, buf[lo:hi])
-		g.sendMsgAt(rank, peer, message{data: pb.data, pb: pb}, ready)
+		g.sendMsgAt(rank, peer, Frame{Data: pb.data, pb: pb}, ready)
 		in := g.recvMsg(rank, peer)
-		if in.arrive > ready {
-			ready = in.arrive
+		if in.Arrive > ready {
+			ready = in.Arrive
 		}
 		plo, phi := loStack[level], hiStack[level]
 		mid := plo + (phi-plo)/2
@@ -292,10 +292,10 @@ func (g *Group) AllreduceRHDFrom(rank int, buf []float64, entry float64) {
 		if rank&d != 0 {
 			rl, rh = plo, mid
 		}
-		if len(in.data) != rh-rl {
-			panic(fmt.Sprintf("comm: AllreduceRHD doubling length mismatch %d vs %d", len(in.data), rh-rl))
+		if len(in.Data) != rh-rl {
+			panic(fmt.Sprintf("comm: AllreduceRHD doubling length mismatch %d vs %d", len(in.Data), rh-rl))
 		}
-		copy(buf[rl:rh], in.data)
+		copy(buf[rl:rh], in.Data)
 		g.releaseMsg(in)
 		lo, hi = plo, phi
 	}

@@ -73,16 +73,16 @@ func (g *Group) ReduceTree(rank int, buf []float64) {
 			// This learner's subtree is complete: hand the partial sum up
 			// (zero-copy — the parent consumes it before this learner can
 			// touch buf again).
-			g.sendMsg(rank, rank-step, message{data: buf})
+			g.sendMsg(rank, rank-step, Frame{Data: buf})
 			return
 		}
 		peer := rank + step
 		if peer < g.p {
 			in := g.recvMsg(rank, peer)
-			if len(in.data) != len(buf) {
-				panic(fmt.Sprintf("comm: ReduceTree length mismatch %d vs %d", len(in.data), len(buf)))
+			if len(in.Data) != len(buf) {
+				panic(fmt.Sprintf("comm: ReduceTree length mismatch %d vs %d", len(in.Data), len(buf)))
 			}
-			addInto(buf, in.data)
+			addInto(buf, in.Data)
 			g.releaseMsg(in)
 		}
 	}
@@ -107,14 +107,14 @@ func (g *Group) BroadcastTree(rank int, buf []float64) {
 				// returns it to the pool once consumed.
 				pb := g.acquire(len(buf))
 				copy(pb.data, buf)
-				g.sendMsg(rank, peer, message{data: pb.data, pb: pb})
+				g.sendMsg(rank, peer, Frame{Data: pb.data, pb: pb})
 			}
 		case rank%(2*step) == step:
 			in := g.recvMsg(rank, rank-step)
-			if len(in.data) != len(buf) {
-				panic(fmt.Sprintf("comm: BroadcastTree length mismatch %d vs %d", len(in.data), len(buf)))
+			if len(in.Data) != len(buf) {
+				panic(fmt.Sprintf("comm: BroadcastTree length mismatch %d vs %d", len(in.Data), len(buf)))
 			}
-			copy(buf, in.data)
+			copy(buf, in.Data)
 			g.releaseMsg(in)
 		}
 	}
@@ -149,13 +149,13 @@ func (g *Group) AllreduceRing(rank int, buf []float64) {
 		src := chunk(sendC)
 		pb := g.acquire(len(src))
 		copy(pb.data, src)
-		g.sendMsg(rank, next, message{data: pb.data, pb: pb})
+		g.sendMsg(rank, next, Frame{Data: pb.data, pb: pb})
 		in := g.recvMsg(rank, prev)
 		dst := chunk(recvC)
-		if len(in.data) != len(dst) {
-			panic(fmt.Sprintf("comm: AllreduceRing length mismatch %d vs %d", len(in.data), len(dst)))
+		if len(in.Data) != len(dst) {
+			panic(fmt.Sprintf("comm: AllreduceRing length mismatch %d vs %d", len(in.Data), len(dst)))
 		}
-		addInto(dst, in.data)
+		addInto(dst, in.Data)
 		g.releaseMsg(in)
 	}
 	// Allgather: circulate the completed chunks.
@@ -165,13 +165,13 @@ func (g *Group) AllreduceRing(rank int, buf []float64) {
 		src := chunk(sendC)
 		pb := g.acquire(len(src))
 		copy(pb.data, src)
-		g.sendMsg(rank, next, message{data: pb.data, pb: pb})
+		g.sendMsg(rank, next, Frame{Data: pb.data, pb: pb})
 		in := g.recvMsg(rank, prev)
 		dst := chunk(recvC)
-		if len(in.data) != len(dst) {
-			panic(fmt.Sprintf("comm: AllreduceRing length mismatch %d vs %d", len(in.data), len(dst)))
+		if len(in.Data) != len(dst) {
+			panic(fmt.Sprintf("comm: AllreduceRing length mismatch %d vs %d", len(in.Data), len(dst)))
 		}
-		copy(dst, in.data)
+		copy(dst, in.Data)
 		g.releaseMsg(in)
 	}
 }

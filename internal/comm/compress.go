@@ -310,15 +310,15 @@ func (c *topkCompressor) allreducePairs(g *Group, rank int, acc []float64, k int
 		if rank%(2*step) != 0 {
 			pb := g.acquire(len(cur))
 			copy(pb.data, cur)
-			g.sendMsgAt(rank, rank-step, message{data: pb.data, pb: pb}, ready)
+			g.sendMsgAt(rank, rank-step, Frame{Data: pb.data, pb: pb}, ready)
 			break
 		}
 		if peer := rank + step; peer < g.p {
 			in := g.recvMsg(rank, peer)
-			if in.arrive > ready {
-				ready = in.arrive
+			if in.Arrive > ready {
+				ready = in.Arrive
 			}
-			merged := mergePairs(spare[:0], cur, in.data)
+			merged := mergePairs(spare[:0], cur, in.Data)
 			g.releaseMsg(in)
 			spare = cur
 			cur = merged
@@ -343,12 +343,12 @@ func (c *topkCompressor) allreducePairs(g *Group, rank int, acc []float64, k int
 			if peer := rank + step; peer < g.p {
 				pb := g.acquire(len(cur))
 				copy(pb.data, cur)
-				g.sendMsgAt(rank, peer, message{data: pb.data, pb: pb}, ready)
+				g.sendMsgAt(rank, peer, Frame{Data: pb.data, pb: pb}, ready)
 			}
 		case rank%(2*step) == step:
 			in := g.recvMsg(rank, rank-step)
-			ready = in.arrive
-			cur = append(cur[:0], in.data...)
+			ready = in.Arrive
+			cur = append(cur[:0], in.Data...)
 			g.releaseMsg(in)
 		}
 	}

@@ -488,7 +488,7 @@ func (f *faultFabric) faultCounts() FaultStats {
 
 // xfer is one queued transfer awaiting the link daemon.
 type xfer struct {
-	m     message
+	m     Frame
 	ready float64
 }
 
@@ -510,6 +510,7 @@ type linkDaemon struct {
 // — see FaultPlan.MaxRetries.
 func (d *linkDaemon) run() {
 	f := d.g.fab
+	done := d.g.done
 	li := f.linkIdx(d.pf, d.pt)
 	timeout := f.plan.retryTimeout()
 	maxRetries := f.plan.maxRetries()
@@ -517,7 +518,15 @@ func (d *linkDaemon) run() {
 	if !timer.Stop() {
 		<-timer.C
 	}
-	for x := range d.q {
+	for {
+		var x xfer
+		select {
+		case x = <-d.q:
+		case <-done:
+			// Group closed: queued transfers are dropped per the Close
+			// contract.
+			return
+		}
 		seq := f.seq[li]
 		f.seq[li] = seq + 1
 		delay := f.delayFor(d.pf, d.pt, seq)
@@ -530,11 +539,11 @@ func (d *linkDaemon) run() {
 		// directly; sender-owned slices are copied exactly once, which is
 		// safe because anything that lets the sender overwrite them
 		// happens-after the first delivery, which happens-after this copy.
-		n := len(x.m.data)
+		n := len(x.m.Data)
 		stage := x.m.pb
 		if stage == nil {
 			stage = d.g.acquire(n)
-			copy(stage.data, x.m.data)
+			copy(stage.data, x.m.Data)
 		}
 		acked := false
 		for attempt := 0; !acked; attempt++ {
@@ -556,7 +565,7 @@ func (d *linkDaemon) run() {
 				// buffers, so no double-release and no aliasing.
 				pb := d.g.acquire(n)
 				copy(pb.data, stage.data[:n])
-				d.g.deliver(d.from, d.to, message{data: pb.data, pb: pb, seq: seq + 1}, x.ready, delay)
+				d.g.deliver(d.from, d.to, Frame{Data: pb.data, pb: pb, Seq: seq + 1}, x.ready, delay)
 			}
 			// Await the ack (or a stale duplicate ack from an earlier
 			// spurious retransmission, which is drained and ignored).
@@ -575,6 +584,12 @@ func (d *linkDaemon) run() {
 					}
 				case <-timer.C:
 					deadline = true
+				case <-done:
+					// Group closed mid-delivery: abandon the transfer
+					// (the receiver is gone) and recycle the staging
+					// buffer.
+					d.g.releaseMsg(Frame{pb: stage})
+					return
 				}
 			}
 			if acked {
@@ -594,6 +609,6 @@ func (d *linkDaemon) run() {
 		}
 		// The staging buffer (which is the original payload when that was
 		// pool-owned) is spent: every mailbox insertion was a fresh copy.
-		d.g.releaseMsg(message{pb: stage})
+		d.g.releaseMsg(Frame{pb: stage})
 	}
 }

@@ -9,29 +9,17 @@ import (
 	"sasgd/internal/obs"
 )
 
-// message is one point-to-point transfer between learners. arrive is the
-// simulated time at which the payload is fully received (0 when the group
-// has no cost model). pb is non-nil when the payload is owned by the
-// group's buffer pool, in which case the receiver must release it after
-// consuming the data. seq is zero on the direct (fault-free) path; under
-// an active fault plan the link daemons stamp each wire copy with the
-// link's sequence number plus one, which the receiver uses to
-// deduplicate spurious retransmissions (see faults.go).
-type message struct {
-	data   []float64
-	pb     *poolBuf
-	arrive float64
-	seq    int64
-}
-
 // PipelineDepth is the pipeline window of the chunked collectives: the
 // maximum number of chunks a learner's reduce stream may run ahead of its
 // broadcast stream (see AllreduceTreeChunked). It also sizes the per-pair
 // mailboxes, so the two must move together.
 const PipelineDepth = 8
 
-// mailboxCap is the capacity of each per-(sender, receiver) channel,
-// sized from the pipeline depth rather than a guessed constant.
+// mailboxCap is the minimum per-directed-link buffering every
+// transport must provide (the channel fabric's per-(sender, receiver)
+// channel capacity, the TCP backend's per-link outbox and inbox
+// capacities), sized from the pipeline depth rather than a guessed
+// constant.
 //
 // Deadlock-freedom argument: every collective is a fixed schedule of
 // sends and receives that both endpoints of a pair walk in the same
@@ -50,9 +38,10 @@ const PipelineDepth = 8
 // acyclic receive dependencies — no cycle, no deadlock.
 const mailboxCap = PipelineDepth + 2
 
-// Group is a fixed set of p learners that communicate through buffered
-// per-(sender, receiver) channels, giving MPI-like ordered point-to-point
-// semantics on which the collectives are built.
+// Group is a fixed set of p learners that communicate through a
+// Transport — by default a matrix of buffered per-(sender, receiver)
+// channels — giving MPI-like ordered point-to-point semantics on which
+// the collectives are built.
 //
 // A Group may be constructed with per-learner simulated clocks and a
 // fabric cost model; every send then stamps its message with an arrival
@@ -64,12 +53,28 @@ const mailboxCap = PipelineDepth + 2
 // pipelined collectives show their real overlap instead of a fictitious
 // p-fold bandwidth.
 type Group struct {
-	p      int
-	mail   [][]chan message // mail[to][from]
-	clocks []Clock
-	cost   CostModel
-	bar    *Barrier
-	pool   [64]sync.Pool // *poolBuf recycling, one pool per size class (see pool.go)
+	p  int
+	tr Transport
+	// trMap maps the group's virtual ranks to transport ranks (nil =
+	// identity). Re-formed survivor groups address the original
+	// transport's physical rank space through it.
+	trMap []int
+	// allLocal is true when every transport rank is driven by this
+	// process; epoch barriers then use the in-process barrier (which
+	// also aligns simulated clocks). A multi-process group synchronizes
+	// with a 1-word wire barrier over the transport instead.
+	allLocal bool
+	clocks   []Clock
+	cost     CostModel
+	bar      *Barrier
+	pool     *bufPool // payload recycling, shared with the transport when it owns one
+
+	// done is closed by Close: it unblocks link daemons (including their
+	// ack waits) and fault-path sends still queueing behind them, making
+	// Close safe against in-flight traffic. closed makes Close
+	// idempotent under concurrent calls.
+	done   chan struct{}
+	closed atomic.Bool
 
 	// linkFree[from][to] is the simulated time at which the directed
 	// (from → to) link finishes its last accepted transfer; nil when the
@@ -119,24 +124,54 @@ type Group struct {
 // NewGroup returns a group of p learners with no time simulation.
 func NewGroup(p int) *Group { return NewSimGroup(p, nil, nil) }
 
-// NewSimGroup returns a group of p learners whose communication is
-// charged to the given clocks using the given cost model. clocks may be
-// nil (no simulation); if non-nil it must have length p.
+// NewSimGroup returns a group of p learners over a fresh in-process
+// channel fabric, with communication charged to the given clocks using
+// the given cost model. clocks may be nil (no simulation); if non-nil
+// it must have length p.
 func NewSimGroup(p int, clocks []Clock, cost CostModel) *Group {
 	if p <= 0 {
 		panic(fmt.Sprintf("comm: NewGroup(%d): group size must be positive", p))
 	}
-	if clocks != nil && len(clocks) != p {
-		panic(fmt.Sprintf("comm: NewSimGroup got %d clocks for %d learners", len(clocks), p))
-	}
-	g := &Group{p: p, clocks: clocks, cost: cost, bar: NewBarrier(p),
-		stats: make([]rankStats, p), sinks: make([]*DeferSync, p)}
-	g.mail = make([][]chan message, p)
-	for to := range g.mail {
-		g.mail[to] = make([]chan message, p)
-		for from := range g.mail[to] {
-			g.mail[to][from] = make(chan message, mailboxCap)
+	return NewTransportGroup(newChanTransport(p), nil, clocks, cost)
+}
+
+// NewTransportGroup builds a group over an existing transport. phys
+// maps the group's virtual ranks to transport ranks: nil means
+// identity (group size = tr.Size()); otherwise the group has len(phys)
+// learners addressing the listed transport ranks, which is how
+// re-formed survivor groups keep speaking over the original wire mesh.
+// The transport may be shared across groups — the caller must ensure
+// only one group drives a given transport rank at a time (membership
+// re-forms are synchronization points, so this holds by construction
+// there). clocks may be nil; simulation requires every transport rank
+// local to this process.
+func NewTransportGroup(tr Transport, phys []int, clocks []Clock, cost CostModel) *Group {
+	p := tr.Size()
+	if phys != nil {
+		p = len(phys)
+		for _, r := range phys {
+			checkTransportRank(tr, r)
 		}
+	}
+	if p <= 0 {
+		panic(fmt.Sprintf("comm: NewTransportGroup(%d): group size must be positive", p))
+	}
+	if clocks != nil && len(clocks) != p {
+		panic(fmt.Sprintf("comm: NewTransportGroup got %d clocks for %d learners", len(clocks), p))
+	}
+	g := &Group{p: p, tr: tr, trMap: phys, clocks: clocks, cost: cost,
+		bar: NewBarrier(p), done: make(chan struct{}),
+		stats: make([]rankStats, p), sinks: make([]*DeferSync, p)}
+	if lt, ok := tr.(allLocalTransport); ok {
+		g.allLocal = lt.AllLocal()
+	}
+	if clocks != nil && !g.allLocal {
+		panic("comm: simulated clocks require an all-local transport")
+	}
+	if pt, ok := tr.(pooledTransport); ok {
+		g.pool = pt.bufferPool()
+	} else {
+		g.pool = new(bufPool)
 	}
 	if clocks != nil && cost != nil {
 		g.linkFree = make([][]float64, p)
@@ -145,6 +180,17 @@ func NewSimGroup(p int, clocks []Clock, cost CostModel) *Group {
 		}
 	}
 	return g
+}
+
+// Transport returns the transport the group is built over.
+func (g *Group) Transport() Transport { return g.tr }
+
+// trRank maps a virtual rank of this group to its transport rank.
+func (g *Group) trRank(v int) int {
+	if g.trMap == nil {
+		return v
+	}
+	return g.trMap[v]
 }
 
 // Size returns the number of learners in the group.
@@ -166,13 +212,13 @@ func (g *Group) Clock(rank int) Clock {
 // use the internal sends so their own labels stick.
 func (g *Group) Send(from, to int, data []float64) {
 	g.setAlgo(from, algoP2P)
-	g.sendMsg(from, to, message{data: data})
+	g.sendMsg(from, to, Frame{Data: data})
 }
 
 // sendMsg is the internal send: the payload is ready at the sender's
 // current simulated time. m.pb marks pool-owned payloads the receiver
 // must release.
-func (g *Group) sendMsg(from, to int, m message) {
+func (g *Group) sendMsg(from, to int, m Frame) {
 	ready := 0.0
 	if g.linkFree != nil {
 		ready = g.clocks[from].Now()
@@ -190,32 +236,41 @@ func (g *Group) sendMsg(from, to int, m message) {
 // once the data is ready and the directed link has drained its previous
 // message, which is what makes chunk-level pipelining visible to the
 // fabric simulation.
-func (g *Group) sendMsgAt(from, to int, m message, ready float64) {
+func (g *Group) sendMsgAt(from, to int, m Frame, ready float64) {
 	g.checkRank(from)
 	g.checkRank(to)
 	if g.faultRoute && from != to {
-		g.daemon(from, to).q <- xfer{m: m, ready: ready}
+		// Selecting on done keeps a sender parked behind a stopped
+		// daemon's full queue from hanging (or panicking on a closed
+		// channel) when Close races the send.
+		select {
+		case g.daemon(from, to).q <- xfer{m: m, ready: ready}:
+		case <-g.done:
+		}
 		return
 	}
 	g.deliver(from, to, m, ready, 0)
 }
 
-// deliver is the mailbox-insertion core of sendMsgAt: stamp the
+// deliver is the transport-insertion core of sendMsgAt: stamp the
 // simulated arrival (departure = data ready ∨ link drained, plus the
 // transfer time and any injected extra latency), charge the sender's
-// traffic counters, insert. On the fault path it is called only by the
-// link's daemon goroutine, which keeps linkFree single-writer.
-func (g *Group) deliver(from, to int, m message, ready, extraDelay float64) {
+// traffic counters, hand the frame to the transport. On the fault path
+// it is called only by the link's daemon goroutine, which keeps
+// linkFree single-writer. Running the stamping, accounting, and (via
+// sendMsgAt) the fault daemons above the transport is what makes every
+// backend carry identical Stats and FaultPlan behavior.
+func (g *Group) deliver(from, to int, m Frame, ready, extraDelay float64) {
 	if g.linkFree != nil {
 		depart := ready
 		if busy := g.linkFree[from][to]; busy > depart {
 			depart = busy
 		}
-		m.arrive = depart + g.cost.XferTime(from, to, len(m.data)) + extraDelay
-		g.linkFree[from][to] = m.arrive
+		m.Arrive = depart + g.cost.XferTime(from, to, len(m.Data)) + extraDelay
+		g.linkFree[from][to] = m.Arrive
 	}
-	g.charge(from, to, len(m.data))
-	g.mail[to][from] <- m
+	g.charge(from, to, len(m.Data))
+	g.tr.Send(g.trRank(from), g.trRank(to), m)
 }
 
 // daemon returns (lazily starting) the stop-and-wait daemon for the
@@ -274,45 +329,48 @@ func (g *Group) InjectFaults(plan *FaultPlan) {
 	g.attachFaults(newFaultFabric(g.p, plan, g.tracer), nil)
 }
 
-// Close stops the group's link daemons (no-op without faults). Call
-// only after all collectives have completed; in-flight transfers would
-// be lost.
+// Close shuts the group down: stops the link daemons, unblocks any
+// fault-path send still queueing behind them, and closes the group's
+// transport (idempotent on every backend, so groups sharing a
+// transport — re-formed survivor views — may each close it).
+// Idempotent and safe to call concurrently with in-flight sends, which
+// are dropped: call after all collectives have completed, or accept
+// that transfers in flight at Close are lost.
 func (g *Group) Close() {
-	g.dMu.Lock()
-	defer g.dMu.Unlock()
-	for _, d := range g.daemons {
-		close(d.q)
+	if !g.closed.CompareAndSwap(false, true) {
+		return
 	}
-	g.daemons = nil
+	close(g.done)
+	g.tr.Close()
 }
 
 // Recv blocks until a message from learner `from` arrives at learner
 // `to`, synchronizes to's clock with the arrival time, and returns the
 // payload.
 func (g *Group) Recv(to, from int) []float64 {
-	return g.recvMsg(to, from).data
+	return g.recvMsg(to, from).Data
 }
 
 // recvMsg is the internal receive; collectives use it to get the pool
 // ownership marker alongside the payload. With a tracer attached the
 // blocking time on the mailbox is accumulated into the receiving rank's
 // mailbox-wait counter; untraced groups skip the clock reads.
-func (g *Group) recvMsg(to, from int) message {
+func (g *Group) recvMsg(to, from int) Frame {
 	g.checkRank(from)
 	g.checkRank(to)
 	if g.faultRoute && from != to {
 		return g.recvReliable(to, from)
 	}
-	var m message
+	var m Frame
 	if g.traceOn {
 		t0 := time.Now()
-		m = <-g.mail[to][from]
+		m = g.tr.Recv(g.trRank(to), g.trRank(from))
 		g.stats[to].mailboxWaitNs.Add(time.Since(t0).Nanoseconds())
 	} else {
-		m = <-g.mail[to][from]
+		m = g.tr.Recv(g.trRank(to), g.trRank(from))
 	}
 	if g.clocks != nil {
-		g.syncClock(to, m.arrive)
+		g.syncClock(to, m.Arrive)
 	}
 	return m
 }
@@ -371,19 +429,19 @@ func (d *DeferSync) Join(c Clock) {
 // which under bulk-synchronous collectives is never concurrent with
 // itself — including across group re-formations, whose boundaries are
 // synchronization points.
-func (g *Group) recvReliable(to, from int) message {
+func (g *Group) recvReliable(to, from int) Frame {
 	fab := g.fab
 	li := fab.linkIdx(g.physRank(from), g.physRank(to))
 	for {
-		var m message
+		var m Frame
 		if g.traceOn {
 			t0 := time.Now()
-			m = <-g.mail[to][from]
+			m = g.tr.Recv(g.trRank(to), g.trRank(from))
 			g.stats[to].mailboxWaitNs.Add(time.Since(t0).Nanoseconds())
 		} else {
-			m = <-g.mail[to][from]
+			m = g.tr.Recv(g.trRank(to), g.trRank(from))
 		}
-		seq := m.seq - 1 // wire stamps are seq+1 so the zero value is never a valid stamp
+		seq := m.Seq - 1 // wire stamps are seq+1 so the zero value is never a valid stamp
 		if seq < fab.expect[li] {
 			fab.acks[li] <- seq
 			g.releaseMsg(m)
@@ -392,7 +450,7 @@ func (g *Group) recvReliable(to, from int) message {
 		fab.expect[li] = seq + 1
 		fab.acks[li] <- seq
 		if g.clocks != nil {
-			g.syncClock(to, m.arrive)
+			g.syncClock(to, m.Arrive)
 		}
 		return m
 	}
@@ -406,15 +464,35 @@ func (g *Group) checkRank(r int) {
 
 // Barrier blocks until all p learners have called it. When the group is
 // simulated, all clocks are synchronized to the latest arrival, matching
-// bulk-synchronous semantics.
+// bulk-synchronous semantics. On a multi-process transport the barrier
+// runs over the wire instead (no shared memory to park on).
 func (g *Group) Barrier(rank int) {
 	g.checkRank(rank)
+	if !g.allLocal {
+		g.wireBarrier(rank)
+		return
+	}
 	if g.clocks == nil {
 		g.bar.Wait()
 		return
 	}
 	t := g.bar.WaitMax(g.clocks[rank].Now())
 	g.clocks[rank].Sync(t)
+}
+
+// wireBarrier synchronizes the group through the transport itself — a
+// 1-word reduce to rank 0 followed by a broadcast — for multi-process
+// groups, where no in-process barrier can exist. The 2(p−1) words it
+// moves are charged to the tree/bcast buckets like any other
+// collective (all-local groups, including TCP loopback, use the
+// in-process barrier, so their traffic pins match the channel fabric
+// exactly).
+func (g *Group) wireBarrier(rank int) {
+	pb := g.acquire(1)
+	pb.data[0] = 0
+	g.ReduceTree(rank, pb.data)
+	g.BroadcastTree(rank, pb.data)
+	g.pool.release(pb)
 }
 
 // Barrier is a reusable p-party synchronization point that additionally

@@ -192,18 +192,18 @@ func (h *Hier) reduceChunkSub(members []int, ri int, buf []float64, c, chunkWord
 	q := len(members)
 	for step := 1; step < q; step <<= 1 {
 		if ri%(2*step) != 0 {
-			g.sendMsgAt(members[ri], members[ri-step], message{data: seg}, ready)
+			g.sendMsgAt(members[ri], members[ri-step], Frame{Data: seg}, ready)
 			return ready
 		}
 		if peer := ri + step; peer < q {
 			in := g.recvMsg(members[ri], members[peer])
-			if len(in.data) != len(seg) {
-				panic(fmt.Sprintf("comm: hier reduce length mismatch %d vs %d", len(in.data), len(seg)))
+			if len(in.Data) != len(seg) {
+				panic(fmt.Sprintf("comm: hier reduce length mismatch %d vs %d", len(in.Data), len(seg)))
 			}
-			if in.arrive > ready {
-				ready = in.arrive
+			if in.Arrive > ready {
+				ready = in.Arrive
 			}
-			addInto(seg, in.data)
+			addInto(seg, in.Data)
 			g.releaseMsg(in)
 		}
 	}
@@ -229,15 +229,15 @@ func (h *Hier) broadcastChunkSub(members []int, ri int, buf []float64, c, chunkW
 			if peer := ri + step; peer < q {
 				pb := g.acquire(len(seg))
 				copy(pb.data, seg)
-				g.sendMsgAt(members[ri], members[peer], message{data: pb.data, pb: pb}, ready)
+				g.sendMsgAt(members[ri], members[peer], Frame{Data: pb.data, pb: pb}, ready)
 			}
 		case ri%(2*step) == step:
 			in := g.recvMsg(members[ri], members[ri-step])
-			if len(in.data) != len(seg) {
-				panic(fmt.Sprintf("comm: hier broadcast length mismatch %d vs %d", len(in.data), len(seg)))
+			if len(in.Data) != len(seg) {
+				panic(fmt.Sprintf("comm: hier broadcast length mismatch %d vs %d", len(in.Data), len(seg)))
 			}
-			ready = in.arrive
-			copy(seg, in.data)
+			ready = in.Arrive
+			copy(seg, in.Data)
 			g.releaseMsg(in)
 		}
 	}

@@ -30,8 +30,8 @@ func TestBlockIslands(t *testing.T) {
 		{8, 8, []int{0, 1, 2, 3, 4, 5, 6, 7}},
 		{5, 2, []int{0, 0, 0, 1, 1}},
 		{3, 2, []int{0, 0, 1}},
-		{4, 0, []int{0, 0, 0, 0}},  // groups clamps up to 1
-		{2, 99, []int{0, 1}},       // groups clamps down to p
+		{4, 0, []int{0, 0, 0, 0}}, // groups clamps up to 1
+		{2, 99, []int{0, 1}},      // groups clamps down to p
 		{7, 3, []int{0, 0, 0, 1, 1, 1, 2}},
 	}
 	for _, tc := range cases {

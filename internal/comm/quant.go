@@ -132,16 +132,16 @@ func (g *Group) allreduceMaxTree(rank int, local, ready float64) (float64, float
 		if rank%(2*step) != 0 {
 			pb := g.acquire(1)
 			pb.data[0] = acc
-			g.sendMsgAt(rank, rank-step, message{data: pb.data, pb: pb}, ready)
+			g.sendMsgAt(rank, rank-step, Frame{Data: pb.data, pb: pb}, ready)
 			break
 		}
 		if peer := rank + step; peer < g.p {
 			in := g.recvMsg(rank, peer)
-			if in.arrive > ready {
-				ready = in.arrive
+			if in.Arrive > ready {
+				ready = in.Arrive
 			}
-			if in.data[0] > acc {
-				acc = in.data[0]
+			if in.Data[0] > acc {
+				acc = in.Data[0]
 			}
 			g.releaseMsg(in)
 		}
@@ -156,12 +156,12 @@ func (g *Group) allreduceMaxTree(rank int, local, ready float64) (float64, float
 			if peer := rank + step; peer < g.p {
 				pb := g.acquire(1)
 				pb.data[0] = acc
-				g.sendMsgAt(rank, peer, message{data: pb.data, pb: pb}, ready)
+				g.sendMsgAt(rank, peer, Frame{Data: pb.data, pb: pb}, ready)
 			}
 		case rank%(2*step) == step:
 			in := g.recvMsg(rank, rank-step)
-			ready = in.arrive
-			acc = in.data[0]
+			ready = in.Arrive
+			acc = in.Data[0]
 			g.releaseMsg(in)
 		}
 	}
@@ -190,20 +190,20 @@ func (c *qint8Compressor) intTreeAllreduce(g *Group, rank int, ready float64) {
 			sub := min(step, g.p-rank)
 			pb := g.acquire(quantWords(n, sub))
 			packInts(c.q, sub, pb.data)
-			g.sendMsgAt(rank, rank-step, message{data: pb.data, pb: pb}, ready)
+			g.sendMsgAt(rank, rank-step, Frame{Data: pb.data, pb: pb}, ready)
 			break
 		}
 		if peer := rank + step; peer < g.p {
 			in := g.recvMsg(rank, peer)
 			sub := min(step, g.p-peer)
-			if len(in.data) != quantWords(n, sub) {
+			if len(in.Data) != quantWords(n, sub) {
 				panic(fmt.Sprintf("comm: quantized message has %d words, want %d for %d lanes from a %d-leaf subtree",
-					len(in.data), quantWords(n, sub), n, sub))
+					len(in.Data), quantWords(n, sub), n, sub))
 			}
-			if in.arrive > ready {
-				ready = in.arrive
+			if in.Arrive > ready {
+				ready = in.Arrive
 			}
-			unpackAddInts(in.data, sub, c.q)
+			unpackAddInts(in.Data, sub, c.q)
 			g.releaseMsg(in)
 		}
 	}
@@ -217,12 +217,12 @@ func (c *qint8Compressor) intTreeAllreduce(g *Group, rank int, ready float64) {
 			if peer := rank + step; peer < g.p {
 				pb := g.acquire(quantWords(n, g.p))
 				packInts(c.q, g.p, pb.data)
-				g.sendMsgAt(rank, peer, message{data: pb.data, pb: pb}, ready)
+				g.sendMsgAt(rank, peer, Frame{Data: pb.data, pb: pb}, ready)
 			}
 		case rank%(2*step) == step:
 			in := g.recvMsg(rank, rank-step)
-			ready = in.arrive
-			unpackSetInts(in.data, g.p, c.q)
+			ready = in.Arrive
+			unpackSetInts(in.Data, g.p, c.q)
 			g.releaseMsg(in)
 		}
 	}

@@ -73,7 +73,8 @@ type Resilient struct {
 	plan   *FaultPlan
 	fab    *faultFabric
 	origP  int
-	clocks []Clock // physical-rank indexed (nil = unsimulated)
+	tr     Transport // shared wire transport (nil = fresh channel fabric per view)
+	clocks []Clock   // physical-rank indexed (nil = unsimulated)
 	cost   CostModel
 	tracer *obs.Tracer
 
@@ -96,6 +97,25 @@ type Resilient struct {
 // faults; a nil plan means no injected faults but still crash-tolerant
 // membership.
 func NewResilient(p int, plan *FaultPlan, clocks []Clock, cost CostModel, tracer *obs.Tracer) *Resilient {
+	return newResilient(p, nil, plan, clocks, cost, tracer)
+}
+
+// NewResilientOver is NewResilient on an explicit wire transport: every
+// membership view — the initial full group and each survivor re-form —
+// is built over the same mesh, with the view's physical ranks
+// addressing the transport's rank space directly. Stale
+// retransmissions from a pre-eviction view arrive on the same wire
+// links and are discarded by the fabric's per-link dedup cursors,
+// exactly as on the channel fabric. The transport must host every rank
+// in this process: the heartbeat ledger is shared memory.
+func NewResilientOver(tr Transport, plan *FaultPlan, clocks []Clock, cost CostModel, tracer *obs.Tracer) *Resilient {
+	if lt, ok := tr.(allLocalTransport); !ok || !lt.AllLocal() {
+		panic("comm: NewResilientOver needs an all-local transport (the membership ledger is in-process)")
+	}
+	return newResilient(tr.Size(), tr, plan, clocks, cost, tracer)
+}
+
+func newResilient(p int, tr Transport, plan *FaultPlan, clocks []Clock, cost CostModel, tracer *obs.Tracer) *Resilient {
 	if plan == nil {
 		plan = &FaultPlan{}
 	}
@@ -106,6 +126,7 @@ func NewResilient(p int, plan *FaultPlan, clocks []Clock, cost CostModel, tracer
 		plan:      plan,
 		fab:       newFaultFabric(p, plan, tracer),
 		origP:     p,
+		tr:        tr,
 		clocks:    clocks,
 		cost:      cost,
 		tracer:    tracer,
@@ -144,7 +165,18 @@ func (r *Resilient) formGroup(phys []int) *Group {
 			cost = remapCost{inner: r.cost, phys: phys}
 		}
 	}
-	g := NewSimGroup(len(phys), clocks, cost)
+	var g *Group
+	if r.tr != nil {
+		// Shared wire mesh: the view's virtual ranks address the
+		// transport's physical rank space through the phys map.
+		trMap := phys
+		if len(phys) == r.origP {
+			trMap = nil // identity view
+		}
+		g = NewTransportGroup(r.tr, trMap, clocks, cost)
+	} else {
+		g = NewSimGroup(len(phys), clocks, cost)
+	}
 	g.SetTracer(r.tracer)
 	var physMap []int
 	if len(phys) != r.origP {

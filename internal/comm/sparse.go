@@ -143,7 +143,7 @@ func (g *Group) AllreduceSparseTree(rank int, contrib SparseVec) SparseVec {
 			// encode ships index+value pairs, so the message length — and
 			// the words charged — is exactly acc.Words(): the sparse paths
 			// are accounted by the same len(payload) rule as the dense ones.
-			g.sendMsg(rank, rank-step, message{data: acc.encode()})
+			g.sendMsg(rank, rank-step, Frame{Data: acc.encode()})
 			break
 		}
 		peer := rank + step
@@ -161,7 +161,7 @@ func (g *Group) AllreduceSparseTree(rank int, contrib SparseVec) SparseVec {
 		case rank%(2*step) == 0:
 			peer := rank + step
 			if peer < g.p {
-				g.sendMsg(rank, peer, message{data: acc.encode()})
+				g.sendMsg(rank, peer, Frame{Data: acc.encode()})
 			}
 		case rank%(2*step) == step:
 			acc = decodeSparse(g.Recv(rank, rank-step))

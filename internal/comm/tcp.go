@@ -1,0 +1,592 @@
+package comm
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sasgd/internal/comm/wire"
+)
+
+// TCP transport: the Transport interface over real sockets, one learner
+// process (or several) per machine. The mesh is one full-duplex TCP
+// connection per unordered rank pair — the lower rank dials the higher
+// rank's listener and identifies the pair with a hello — and each
+// directed link gets a dedicated writer goroutine mirroring the channel
+// fabric's link daemons: it drains the link's outbox, serializes frames
+// with the wire codec into a grow-once scratch buffer, and releases
+// pool-owned payloads back to the shared pool after the bytes are out.
+// A reader goroutine per connection endpoint decodes incoming frames
+// into pooled buffers and routes them to per-(sender, receiver) inbox
+// channels, so Recv is the same buffered-channel receive the channel
+// fabric does — the collectives cannot tell the backends apart.
+//
+// Buffering: outbox (mailboxCap) + socket buffers + inbox (mailboxCap)
+// give every directed link strictly more slack than the channel
+// fabric's mailboxCap, so any schedule that is deadlock-free on
+// channels is deadlock-free here (the mailboxCap argument, with spare
+// room).
+//
+// Sender-reuse safety for zero-copy frames: a sender may only reuse a
+// handed-off buffer after an event that (on the channel fabric) follows
+// the receiver consuming it. Here the receiver can only have consumed a
+// frame after this process's writer fully serialized it, so
+// serialization happens-before any legal reuse — the zero-copy
+// hand-offs the collectives rely on stay safe over the wire.
+
+// TCPConfig describes a TCP mesh.
+type TCPConfig struct {
+	// Addrs[r] is rank r's listen address. Every process of the run
+	// must pass the identical list (ephemeral ":0" ports are only valid
+	// for ranks local to this process, i.e. single-process loopback).
+	Addrs []string
+	// Local lists the ranks hosted by this process (nil = all of them).
+	Local []int
+	// DialTimeout bounds connection establishment per link, retrying
+	// until the deadline so peer processes may start late. Default 15s.
+	DialTimeout time.Duration
+}
+
+// TCPStats is the transport-level wire accounting (bytes and frames on
+// the socket, this process's share only). Word-level traffic accounting
+// stays in comm.Stats, charged above the transport.
+type TCPStats struct {
+	BytesOut, BytesIn   int64
+	FramesOut, FramesIn int64
+}
+
+// TCPTransport is a Transport over a TCP mesh. Construct with
+// NewTCPTransport (multi-process) or NewTCPLoopback (tests, benches,
+// single-machine runs).
+type TCPTransport struct {
+	p     int
+	local []bool
+	nLoc  int
+	inbox [][]chan Frame // [to][from]; rows only for local `to`
+	out   [][]chan Frame // [from][to]; wire-link outboxes for local `from`
+	pool  bufPool
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	conns     []net.Conn
+
+	bytesOut, bytesIn   atomic.Int64
+	framesOut, framesIn atomic.Int64
+}
+
+// wireBufSize is the bufio buffer on each side of a connection.
+const wireBufSize = 64 << 10
+
+// helloMagic opens every dialed connection: magic, mesh size, dialer
+// rank, target rank — enough for the accepting side to direction-assign
+// the pair and reject mismatched runs.
+const helloMagic = 0x68444753 // "SGDh"
+
+const helloLen = 10
+
+// NewTCPLoopback returns a p-rank TCP transport with every rank hosted
+// in this process over 127.0.0.1 ephemeral ports: the full TCP backend
+// — framing, CRC, per-link writers, kernel sockets — without leaving
+// the machine. This is the cross-transport equivalence harness's second
+// backend.
+func NewTCPLoopback(p int) (*TCPTransport, error) {
+	addrs := make([]string, p)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+	}
+	return NewTCPTransport(TCPConfig{Addrs: addrs})
+}
+
+// NewTCPTransport builds the mesh: listeners for the local ranks, then
+// one connection per rank pair (lower rank dials, higher accepts, both
+// with retry/deadline so processes may start in any order), then the
+// per-link reader/writer goroutines. Returns only once every local
+// link is connected.
+func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) {
+	p := len(cfg.Addrs)
+	if p == 0 {
+		return nil, fmt.Errorf("comm: tcp: no addresses")
+	}
+	if p > wire.MaxRank+1 {
+		return nil, fmt.Errorf("comm: tcp: %d ranks exceed the frame format's %d", p, wire.MaxRank+1)
+	}
+	t := &TCPTransport{p: p, local: make([]bool, p), done: make(chan struct{})}
+	if cfg.Local == nil {
+		for r := range t.local {
+			t.local[r] = true
+		}
+		t.nLoc = p
+	} else {
+		for _, r := range cfg.Local {
+			if r < 0 || r >= p {
+				return nil, fmt.Errorf("comm: tcp: local rank %d out of range [0,%d)", r, p)
+			}
+			if t.local[r] {
+				return nil, fmt.Errorf("comm: tcp: duplicate local rank %d", r)
+			}
+			t.local[r] = true
+			t.nLoc++
+		}
+		if t.nLoc == 0 {
+			return nil, fmt.Errorf("comm: tcp: no local ranks")
+		}
+	}
+	dialBudget := cfg.DialTimeout
+	if dialBudget <= 0 {
+		dialBudget = 15 * time.Second
+	}
+
+	t.inbox = make([][]chan Frame, p)
+	t.out = make([][]chan Frame, p)
+	for r := 0; r < p; r++ {
+		if t.local[r] {
+			row := make([]chan Frame, p)
+			for from := range row {
+				row[from] = make(chan Frame, mailboxCap)
+			}
+			t.inbox[r] = row
+			orow := make([]chan Frame, p)
+			for to := range orow {
+				if to != r {
+					orow[to] = make(chan Frame, mailboxCap)
+				}
+			}
+			t.out[r] = orow
+		}
+	}
+
+	// Listeners first, so every dial target that is local resolves its
+	// actual (possibly ephemeral) port.
+	listeners := make([]net.Listener, p)
+	resolved := append([]string(nil), cfg.Addrs...)
+	fail := func(err error) (*TCPTransport, error) {
+		for _, ln := range listeners {
+			if ln != nil {
+				ln.Close()
+			}
+		}
+		for _, c := range t.conns {
+			c.Close()
+		}
+		return nil, err
+	}
+	for r := 0; r < p; r++ {
+		if !t.local[r] {
+			continue
+		}
+		ln, err := net.Listen("tcp", cfg.Addrs[r])
+		if err != nil {
+			return fail(fmt.Errorf("comm: tcp: listen rank %d on %s: %w", r, cfg.Addrs[r], err))
+		}
+		listeners[r] = ln
+		resolved[r] = ln.Addr().String()
+	}
+
+	// Establish the mesh. Pair {a,b} with a<b: a dials b's listener, so
+	// rank r's listener expects exactly one connection from every lower
+	// rank. Accepts run concurrently with the dial loop — a loopback
+	// mesh dials itself.
+	type endpoint struct {
+		conn  *net.TCPConn
+		wFrom int // this endpoint writes the wFrom→wTo direction
+		wTo   int
+	}
+	var mu sync.Mutex
+	var eps []endpoint
+	addEndpoint := func(c *net.TCPConn, wFrom, wTo int) {
+		c.SetNoDelay(true)
+		mu.Lock()
+		t.conns = append(t.conns, c)
+		eps = append(eps, endpoint{c, wFrom, wTo})
+		mu.Unlock()
+	}
+	deadline := time.Now().Add(dialBudget)
+	var acceptWG sync.WaitGroup
+	acceptErr := make(chan error, p)
+	for r := 0; r < p; r++ {
+		if listeners[r] == nil || r == 0 {
+			continue
+		}
+		acceptWG.Add(1)
+		go func(r int, ln net.Listener) {
+			defer acceptWG.Done()
+			if d, ok := ln.(*net.TCPListener); ok {
+				d.SetDeadline(deadline)
+			}
+			for i := 0; i < r; i++ {
+				c, err := ln.Accept()
+				if err != nil {
+					acceptErr <- fmt.Errorf("comm: tcp: rank %d accept %d/%d: %w", r, i, r, err)
+					return
+				}
+				var hello [helloLen]byte
+				c.SetReadDeadline(deadline)
+				if _, err := io.ReadFull(c, hello[:]); err != nil {
+					acceptErr <- fmt.Errorf("comm: tcp: rank %d hello: %w", r, err)
+					c.Close()
+					return
+				}
+				c.SetReadDeadline(time.Time{})
+				magic := uint32(hello[0]) | uint32(hello[1])<<8 | uint32(hello[2])<<16 | uint32(hello[3])<<24
+				hp := int(hello[4]) | int(hello[5])<<8
+				da := int(hello[6]) | int(hello[7])<<8
+				db := int(hello[8]) | int(hello[9])<<8
+				if magic != helloMagic || hp != p || db != r || da >= r || da < 0 {
+					acceptErr <- fmt.Errorf("comm: tcp: rank %d got bad hello (magic %#x p %d pair %d→%d)", r, magic, hp, da, db)
+					c.Close()
+					return
+				}
+				addEndpoint(c.(*net.TCPConn), r, da)
+			}
+		}(r, listeners[r])
+	}
+	var dialErr error
+	for b := 1; b < p && dialErr == nil; b++ {
+		for a := 0; a < b; a++ {
+			if !t.local[a] {
+				continue
+			}
+			addr := resolved[b]
+			if !t.local[b] {
+				if _, port, err := net.SplitHostPort(addr); err != nil || port == "0" {
+					dialErr = fmt.Errorf("comm: tcp: rank %d address %q needs an explicit port (ephemeral ports are single-process only)", b, cfg.Addrs[b])
+					break
+				}
+			}
+			c, err := dialRetry(addr, deadline)
+			if err != nil {
+				dialErr = fmt.Errorf("comm: tcp: rank %d dial rank %d (%s): %w", a, b, addr, err)
+				break
+			}
+			hm := uint32(helloMagic)
+			hello := [helloLen]byte{
+				byte(hm), byte(hm >> 8), byte(hm >> 16), byte(hm >> 24),
+				byte(p), byte(p >> 8),
+				byte(a), byte(a >> 8),
+				byte(b), byte(b >> 8),
+			}
+			if _, err := c.Write(hello[:]); err != nil {
+				dialErr = fmt.Errorf("comm: tcp: rank %d hello to rank %d: %w", a, b, err)
+				c.Close()
+				break
+			}
+			addEndpoint(c, a, b)
+		}
+	}
+	acceptWG.Wait()
+	for _, ln := range listeners {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	if dialErr != nil {
+		return fail(dialErr)
+	}
+	select {
+	case err := <-acceptErr:
+		return fail(err)
+	default:
+	}
+
+	// Mesh complete: spawn the link goroutines. Each endpoint writes
+	// one direction and reads the other.
+	for _, ep := range eps {
+		t.wg.Add(1)
+		go t.runWriter(ep.conn, ep.wFrom, ep.wTo)
+		if t.local[ep.wFrom] { // reads frames addressed wTo→wFrom
+			t.wg.Add(1)
+			go t.runReader(ep.conn, ep.wTo, ep.wFrom)
+		}
+	}
+	return t, nil
+}
+
+// dialRetry dials until success or the deadline; peers of a
+// multi-process run may not be listening yet.
+func dialRetry(addr string, deadline time.Time) (*net.TCPConn, error) {
+	var lastErr error
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("deadline exceeded")
+			}
+			return nil, lastErr
+		}
+		step := 250 * time.Millisecond
+		if remain < step {
+			step = remain
+		}
+		c, err := net.DialTimeout("tcp", addr, step)
+		if err == nil {
+			return c.(*net.TCPConn), nil
+		}
+		lastErr = err
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Size returns the mesh's rank count.
+func (t *TCPTransport) Size() int { return t.p }
+
+// AllLocal reports whether this process hosts every rank.
+func (t *TCPTransport) AllLocal() bool { return t.nLoc == t.p }
+
+// Local reports whether rank r is hosted by this process.
+func (t *TCPTransport) Local(r int) bool { return t.local[r] }
+
+func (t *TCPTransport) bufferPool() *bufPool { return &t.pool }
+
+// WireStats snapshots the socket-level byte/frame counters.
+func (t *TCPTransport) WireStats() TCPStats {
+	return TCPStats{
+		BytesOut: t.bytesOut.Load(), BytesIn: t.bytesIn.Load(),
+		FramesOut: t.framesOut.Load(), FramesIn: t.framesIn.Load(),
+	}
+}
+
+// Send enqueues f on the (from → to) link's outbox (self-sends go
+// straight to the inbox). Blocks for backpressure; unblocks and drops
+// when the transport closes underneath it.
+func (t *TCPTransport) Send(from, to int, f Frame) {
+	if !t.local[from] {
+		panic(fmt.Sprintf("comm: tcp: send from rank %d, which is not hosted by this process", from))
+	}
+	checkTransportRank(t, to)
+	var ch chan Frame
+	if from == to {
+		ch = t.inbox[to][from]
+	} else {
+		ch = t.out[from][to]
+	}
+	select {
+	case ch <- f:
+	case <-t.done:
+	}
+}
+
+// Recv returns the next frame on the (from → to) link.
+func (t *TCPTransport) Recv(to, from int) Frame {
+	if !t.local[to] {
+		panic(fmt.Sprintf("comm: tcp: recv at rank %d, which is not hosted by this process", to))
+	}
+	checkTransportRank(t, from)
+	return <-t.inbox[to][from]
+}
+
+// runWriter owns the (from → to) direction of one connection: drain the
+// outbox, serialize into the grow-once scratch, flush when the queue is
+// momentarily empty (batching consecutive frames into one syscall), and
+// release pool-owned payloads once their bytes are out. On Close the
+// queued frames are flushed and the write side half-closed, so the peer
+// reads everything in flight before seeing EOF — graceful teardown.
+func (t *TCPTransport) runWriter(conn *net.TCPConn, from, to int) {
+	defer t.wg.Done()
+	out := t.out[from][to]
+	w := newFlushWriter(conn)
+	var scratch []byte
+	emit := func(f Frame) {
+		scratch = wire.AppendFrame(scratch[:0], wire.Header{From: from, To: to, Seq: f.Seq, Arrive: f.Arrive}, f.Data)
+		if w.write(scratch) {
+			t.bytesOut.Add(int64(len(scratch)))
+			t.framesOut.Add(1)
+		}
+		if f.pb != nil {
+			t.pool.release(f.pb)
+		}
+	}
+	for {
+		select {
+		case f := <-out:
+			emit(f)
+			if len(out) == 0 {
+				w.flush()
+			}
+		case <-t.done:
+			for {
+				select {
+				case f := <-out:
+					emit(f)
+				default:
+					w.flush()
+					conn.CloseWrite()
+					return
+				}
+			}
+		}
+	}
+}
+
+// flushWriter is a minimal buffered writer with a sticky error: after
+// the peer drops the connection, writes become cheap no-ops instead of
+// panics (the run is torn down by whoever noticed first).
+type flushWriter struct {
+	conn net.Conn
+	buf  []byte
+	err  error
+}
+
+func newFlushWriter(c net.Conn) *flushWriter {
+	return &flushWriter{conn: c, buf: make([]byte, 0, wireBufSize)}
+}
+
+func (w *flushWriter) write(p []byte) bool {
+	if w.err != nil {
+		return false
+	}
+	if len(w.buf)+len(p) > cap(w.buf) {
+		w.flush()
+		if w.err != nil {
+			return false
+		}
+	}
+	if len(p) >= cap(w.buf) {
+		_, w.err = w.conn.Write(p)
+		return w.err == nil
+	}
+	w.buf = append(w.buf, p...)
+	return true
+}
+
+func (w *flushWriter) flush() {
+	if w.err != nil || len(w.buf) == 0 {
+		return
+	}
+	_, w.err = w.conn.Write(w.buf)
+	w.buf = w.buf[:0]
+}
+
+// runReader owns the (from → to) direction arriving on one connection:
+// length-prefixed frames are decoded into pooled buffers and routed to
+// the inbox. A clean EOF at a frame boundary is normal teardown; a
+// corrupt or mid-frame-truncated stream is a wire-integrity failure and
+// panics (the CRC exists to make corruption loud, not survivable).
+func (t *TCPTransport) runReader(conn *net.TCPConn, from, to int) {
+	defer t.wg.Done()
+	br := newFillReader(conn)
+	var prefix [wire.PrefixLen]byte
+	var body []byte
+	check := func(err error, what string) {
+		if err == nil {
+			return
+		}
+		if t.closing() {
+			panic(readerDone{})
+		}
+		panic(fmt.Sprintf("comm: tcp link %d→%d: %s: %v", from, to, what, err))
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(readerDone); ok {
+				return
+			}
+			panic(r)
+		}
+	}()
+	for {
+		if _, err := io.ReadFull(br, prefix[:]); err != nil {
+			// EOF between frames: the peer half-closed after flushing —
+			// normal shutdown regardless of which side closed first.
+			if err == io.EOF {
+				return
+			}
+			check(err, "read prefix")
+			return
+		}
+		n, err := wire.BodyLen(prefix[:])
+		check(err, "length prefix")
+		if cap(body) < n {
+			body = make([]byte, n)
+		}
+		body = body[:n]
+		if _, err := io.ReadFull(br, body); err != nil {
+			check(err, "read body")
+		}
+		w, err := wire.PayloadWords(body)
+		check(err, "payload words")
+		pb := t.pool.acquire(w)
+		h, err := wire.DecodeBody(body, pb.data)
+		if err != nil {
+			t.pool.release(pb)
+			check(err, "decode")
+		}
+		if h.From != from || h.To != to {
+			t.pool.release(pb)
+			check(fmt.Errorf("frame addressed %d→%d", h.From, h.To), "misrouted frame")
+		}
+		t.bytesIn.Add(int64(wire.PrefixLen + n))
+		t.framesIn.Add(1)
+		select {
+		case t.inbox[to][from] <- Frame{Data: pb.data, pb: pb, Seq: h.Seq, Arrive: h.Arrive}:
+		case <-t.done:
+			t.pool.release(pb)
+			return
+		}
+	}
+}
+
+// readerDone is the reader's silent-exit signal during teardown.
+type readerDone struct{}
+
+func (t *TCPTransport) closing() bool {
+	select {
+	case <-t.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// fillReader is a minimal buffered reader (io.Reader) sized for frame
+// batches.
+type fillReader struct {
+	conn net.Conn
+	buf  []byte
+	r, w int
+}
+
+func newFillReader(c net.Conn) *fillReader {
+	return &fillReader{conn: c, buf: make([]byte, wireBufSize)}
+}
+
+func (fr *fillReader) Read(p []byte) (int, error) {
+	if fr.r == fr.w {
+		n, err := fr.conn.Read(fr.buf)
+		if n == 0 {
+			return 0, err
+		}
+		fr.r, fr.w = 0, n
+	}
+	n := copy(p, fr.buf[fr.r:fr.w])
+	fr.r += n
+	return n, nil
+}
+
+// Close tears the mesh down: writers flush their queued frames and
+// half-close so peers receive everything in flight, readers drain or
+// exit, then the connections close. Idempotent and safe to call
+// concurrently with blocked Sends (they unblock and drop).
+func (t *TCPTransport) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.done)
+		finished := make(chan struct{})
+		go func() {
+			t.wg.Wait()
+			close(finished)
+		}()
+		select {
+		case <-finished:
+		case <-time.After(5 * time.Second):
+			// A peer process died without closing: hard-close below
+			// unblocks whatever is left.
+		}
+		for _, c := range t.conns {
+			c.Close()
+		}
+	})
+	return nil
+}

@@ -1,0 +1,334 @@
+package comm
+
+import (
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// transportCase builds one of the two backends under test for a p-rank
+// all-local group. The TCP variant routes every frame through real
+// loopback sockets and the wire codec; the channel variant is the
+// in-process fabric the rest of the suite exercises.
+type transportCase struct {
+	name string
+	make func(t *testing.T, p int) *Group
+}
+
+func transportCases() []transportCase {
+	return []transportCase{
+		{"channel", func(t *testing.T, p int) *Group { return NewGroup(p) }},
+		{"tcp-loopback", func(t *testing.T, p int) *Group {
+			t.Helper()
+			tr, err := NewTCPLoopback(p)
+			if err != nil {
+				t.Fatalf("NewTCPLoopback(%d): %v", p, err)
+			}
+			g := NewTransportGroup(tr, nil, nil, nil)
+			t.Cleanup(g.Close)
+			return g
+		}},
+	}
+}
+
+// TestCrossTransportAllreduceEquivalence is the equivalence matrix of
+// the transport cut: every allreduce algorithm, over group sizes
+// including non-powers of two, must produce bitwise-identical buffers
+// AND identical traffic stats on the channel fabric and on TCP
+// loopback. Float64 words survive the wire codec bit-exactly and the
+// collectives never branch on the backend, so equality here is exact —
+// any drift means the transport leaked into algorithm behavior.
+func TestCrossTransportAllreduceEquivalence(t *testing.T) {
+	algos := []struct {
+		name string
+		run  func(g *Group, rank int, buf []float64)
+	}{
+		{"tree", func(g *Group, rank int, buf []float64) { g.AllreduceTree(rank, buf) }},
+		{"ptree", func(g *Group, rank int, buf []float64) { g.AllreduceTreeChunked(rank, buf, 16) }},
+		{"rhd", func(g *Group, rank int, buf []float64) { g.AllreduceRHD(rank, buf) }},
+		{"ring", func(g *Group, rank int, buf []float64) { g.AllreduceRing(rank, buf) }},
+	}
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		for _, m := range []int{1, 23, 129} {
+			orig, _ := makeBufs(p, m, int64(7000*p+m))
+			for _, algo := range algos {
+				var refBufs [][]float64
+				var refStats Stats
+				for _, tc := range transportCases() {
+					bufs := cloneBufs(orig)
+					g := tc.make(t, p)
+					runGroup(p, g, func(rank int) {
+						algo.run(g, rank, bufs[rank])
+						g.Barrier(rank)
+					})
+					st := g.Stats()
+					if refBufs == nil {
+						refBufs, refStats = bufs, st
+						continue
+					}
+					for r := 0; r < p; r++ {
+						for i := range bufs[r] {
+							if bufs[r][i] != refBufs[r][i] {
+								t.Fatalf("p=%d m=%d algo=%s rank=%d[%d]: %s %g != channel %g (must be bitwise)",
+									p, m, algo.name, r, i, tc.name, bufs[r][i], refBufs[r][i])
+							}
+						}
+					}
+					if !reflect.DeepEqual(st, refStats) {
+						t.Fatalf("p=%d m=%d algo=%s: %s stats %+v != channel stats %+v",
+							p, m, algo.name, tc.name, st, refStats)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCrossTransportReliableDelivery drives the fault-injected reliable
+// path (seq-stamped frames, acks, retransmits) over both backends with
+// the same deterministic plan. Drops and retry delays are decided by
+// the plan's hash, not the transport, so the delivered payloads must
+// match; retry counts may differ (wall-clock timers race real sockets),
+// so only delivery correctness is asserted.
+func TestCrossTransportReliableDelivery(t *testing.T) {
+	const p, rounds = 3, 20
+	for _, tc := range transportCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.make(t, p)
+			g.InjectFaults(&FaultPlan{Seed: 11, Drop: 0.3, RetryTimeout: 40 * time.Millisecond})
+			runGroup(p, g, func(rank int) {
+				next := (rank + 1) % p
+				prev := (rank + p - 1) % p
+				for i := 0; i < rounds; i++ {
+					g.Send(rank, next, []float64{float64(rank*1000 + i)})
+					got := g.Recv(rank, prev)
+					if want := float64(prev*1000 + i); len(got) != 1 || got[0] != want {
+						t.Errorf("%s rank %d round %d: got %v, want [%g]", tc.name, rank, i, got, want)
+					}
+				}
+			})
+			if drops := g.Stats().Faults.Drops; drops == 0 {
+				t.Errorf("%s: fault plan injected no drops in %d sends", tc.name, p*rounds)
+			}
+		})
+	}
+}
+
+// TestGroupCloseIdempotent: Close must tolerate being called repeatedly
+// and from many goroutines at once — re-formed survivor views sharing a
+// transport each close their group, and the training loop closes again
+// on the way out.
+func TestGroupCloseIdempotent(t *testing.T) {
+	for _, tc := range transportCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.make(t, 3)
+			var wg sync.WaitGroup
+			for i := 0; i < 8; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := 0; j < 4; j++ {
+						g.Close()
+					}
+				}()
+			}
+			wg.Wait()
+			g.Close() // and once more after the storm
+		})
+	}
+}
+
+// TestGroupCloseUnblocksPendingSends: senders parked on a full mailbox
+// — and, with a fault plan attached, senders queued behind a link
+// daemon and daemons waiting on acks — must all return once Close runs
+// instead of leaking blocked goroutines.
+func TestGroupCloseUnblocksPendingSends(t *testing.T) {
+	for _, faults := range []bool{false, true} {
+		name := "plain"
+		if faults {
+			name = "faulty"
+		}
+		t.Run(name, func(t *testing.T) {
+			g := NewGroup(2)
+			if faults {
+				// Nothing ever receives, so the daemon blocks awaiting an
+				// ack and later sends pile up in its queue.
+				g.InjectFaults(&FaultPlan{Seed: 3, Drop: 0.1, RetryTimeout: 5 * time.Millisecond})
+			}
+			const senders = 4
+			done := make(chan struct{}, senders)
+			for s := 0; s < senders; s++ {
+				go func() {
+					for i := 0; i < mailboxCap+8; i++ {
+						g.Send(0, 1, []float64{float64(i)})
+					}
+					done <- struct{}{}
+				}()
+			}
+			time.Sleep(20 * time.Millisecond) // let senders hit the wall
+			g.Close()
+			for s := 0; s < senders; s++ {
+				select {
+				case <-done:
+				case <-time.After(5 * time.Second):
+					t.Fatal("sender still blocked after Close")
+				}
+			}
+		})
+	}
+}
+
+// TestTCPTransportGracefulTeardown: all queued frames drain to their
+// receivers before the sockets close, Close is idempotent, and the
+// socket counters agree end to end (every frame written was read).
+func TestTCPTransportGracefulTeardown(t *testing.T) {
+	const p, frames = 3, 10
+	tr, err := NewTCPLoopback(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for from := 0; from < p; from++ {
+		for to := 0; to < p; to++ {
+			if from == to {
+				continue
+			}
+			wg.Add(2)
+			go func(from, to int) {
+				defer wg.Done()
+				for i := 0; i < frames; i++ {
+					tr.Send(from, to, Frame{Data: []float64{float64(i)}, Seq: int64(i)})
+				}
+			}(from, to)
+			go func(from, to int) {
+				defer wg.Done()
+				for i := 0; i < frames; i++ {
+					f := tr.Recv(to, from)
+					if len(f.Data) != 1 || f.Data[0] != float64(i) || f.Seq != int64(i) {
+						t.Errorf("link %d→%d frame %d: got %+v", from, to, i, f)
+					}
+				}
+			}(from, to)
+		}
+	}
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	ws := tr.WireStats()
+	wantFrames := int64(p * (p - 1) * frames)
+	if ws.FramesOut != wantFrames || ws.FramesIn != wantFrames {
+		t.Errorf("wire frames out=%d in=%d, want %d each", ws.FramesOut, ws.FramesIn, wantFrames)
+	}
+	if ws.BytesOut != ws.BytesIn {
+		t.Errorf("wire bytes out=%d != in=%d", ws.BytesOut, ws.BytesIn)
+	}
+}
+
+// TestTCPMultiProcessMesh stands up the genuinely distributed shape —
+// two transports in separate "processes" (here: separate mesh
+// endpoints, each local to one rank) bridged by a real listener on a
+// pre-claimed port — and checks the wire barrier plus a cross-process
+// allreduce against the channel fabric.
+func TestTCPMultiProcessMesh(t *testing.T) {
+	port := freePort(t)
+	addrs := []string{"127.0.0.1:0", fmt.Sprintf("127.0.0.1:%d", port)}
+
+	var trs [2]*TCPTransport
+	var errs [2]error
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			trs[r], errs[r] = NewTCPTransport(TCPConfig{Addrs: addrs, Local: []int{r}})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("endpoint %d: %v", r, err)
+		}
+	}
+
+	orig, _ := makeBufs(2, 23, 99)
+	want := cloneBufs(orig)
+	gc := NewGroup(2)
+	runGroup(2, gc, func(rank int) { gc.AllreduceTree(rank, want[rank]) })
+
+	got := cloneBufs(orig)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			g := NewTransportGroup(trs[r], nil, nil, nil)
+			defer g.Close()
+			for round := 0; round < 3; round++ {
+				g.Barrier(r) // wire barrier: no shared memory between endpoints
+			}
+			g.AllreduceTree(r, got[r])
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < 2; r++ {
+		for i := range want[r] {
+			if got[r][i] != want[r][i] {
+				t.Fatalf("multi-process rank %d[%d]: %g != channel %g", r, i, got[r][i], want[r][i])
+			}
+		}
+	}
+}
+
+// freePort claims an ephemeral port and releases it for the test to
+// re-bind. The tiny reuse race is acceptable for a loopback test.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port
+}
+
+// TestTCPAllreduceSteadyStateAllocs bounds the end-to-end allocation
+// rate of an allreduce over loopback sockets after warmup. The wire
+// codec itself is pinned to zero allocations in package wire; here the
+// pooled receive buffers, reused reader bodies, and reused writer
+// scratch must keep the whole path to a small constant per operation
+// independent of the payload size (the naive bound is one allocation
+// per frame per word).
+func TestTCPAllreduceSteadyStateAllocs(t *testing.T) {
+	const p, m = 4, 4096
+	tr, err := NewTCPLoopback(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewTransportGroup(tr, nil, nil, nil)
+	defer g.Close()
+	bufs := make([][]float64, p)
+	for r := range bufs {
+		bufs[r] = make([]float64, m)
+	}
+	op := func() {
+		runGroup(p, g, func(rank int) { g.AllreduceTree(rank, bufs[rank]) })
+	}
+	for i := 0; i < 5; i++ {
+		op() // warm the pools, reader bodies, and writer scratch
+	}
+	// runGroup itself spawns p goroutines (~2 allocs each) and the
+	// tree moves 2(p-1) frames; budget a handful of words per frame on
+	// top so pool churn under GC pressure can't flake the test, while
+	// still catching any per-word regression (naive cost ≈ m per frame).
+	const budget = 160.0
+	if n := testing.AllocsPerRun(20, op); n > budget {
+		t.Errorf("steady-state allreduce allocates %.1f/op, want ≤ %.0f", n, budget)
+	}
+}

@@ -1,0 +1,191 @@
+// Package wire is the binary frame codec of the TCP transport: a
+// length-prefixed, CRC-protected encoding of one comm.Frame.
+//
+// Frame layout (all integers little-endian):
+//
+//	offset size field
+//	     0    4 body length  n = 32 + 8·nwords (everything after this u32)
+//	     4    4 magic        "SGD1" (0x31444753)
+//	     8    2 from         sender transport rank
+//	    10    2 to           receiver transport rank
+//	    12    8 seq          reliable-delivery stamp (0 = fault-free path)
+//	    20    8 arrive       simulated arrival time, IEEE-754 bits
+//	    28    4 nwords       payload word count
+//	    32  8·w payload      float64 words, IEEE-754 bits
+//	   end    4 crc          CRC-32C (Castagnoli) over bytes [4, end-4)
+//
+// The decoder validates in dependency order — prefix bounds before any
+// read of the body, nwords against the body length before any payload
+// allocation, CRC before trusting a single field — so truncated,
+// oversized, bit-flipped or garbage frames error cleanly without
+// panicking or over-allocating (pinned by the fuzz targets).
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+const (
+	// Magic identifies a frame body ("SGD1" little-endian).
+	Magic = 0x31444753
+	// PrefixLen is the size of the length prefix.
+	PrefixLen = 4
+	// bodyOverhead is the non-payload portion of a frame body:
+	// magic(4) + from(2) + to(2) + seq(8) + arrive(8) + nwords(4) + crc(4).
+	bodyOverhead = 32
+	// MaxWords caps the payload a frame may declare (1 GiB of float64s);
+	// a decoder rejects larger claims before allocating anything.
+	MaxWords = 1 << 27
+	// MaxRank is the largest transport rank the u16 from/to fields hold.
+	MaxRank = 1<<16 - 1
+)
+
+// Decode errors. Wrapped with detail via %w, so errors.Is works.
+var (
+	ErrShortPrefix     = errors.New("wire: short length prefix")
+	ErrBadLength       = errors.New("wire: invalid body length")
+	ErrPayloadTooLarge = errors.New("wire: payload exceeds cap")
+	ErrTruncated       = errors.New("wire: truncated body")
+	ErrLengthMismatch  = errors.New("wire: nwords disagrees with body length")
+	ErrBadMagic        = errors.New("wire: bad magic")
+	ErrBadCRC          = errors.New("wire: CRC mismatch")
+)
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Header is the frame metadata around the payload.
+type Header struct {
+	From, To int
+	Seq      int64
+	Arrive   float64
+}
+
+// le{16,32,64} avoid importing encoding/binary for four fixed offsets.
+func put16(b []byte, v uint16) { b[0] = byte(v); b[1] = byte(v >> 8) }
+func put32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+func put64(b []byte, v uint64) {
+	put32(b, uint32(v))
+	put32(b[4:], uint32(v>>32))
+}
+func get16(b []byte) uint16 { return uint16(b[0]) | uint16(b[1])<<8 }
+func get32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+func get64(b []byte) uint64 { return uint64(get32(b)) | uint64(get32(b[4:]))<<32 }
+
+// FrameLen returns the encoded size of a frame carrying w payload words.
+func FrameLen(w int) int { return PrefixLen + bodyOverhead + 8*w }
+
+// AppendFrame appends one complete frame — length prefix, header,
+// payload, CRC — to dst and returns the extended slice. Reusing dst
+// across calls makes the steady state allocation-free once it has grown
+// to the largest frame (pinned by TestAppendFrameSteadyStateAllocs).
+func AppendFrame(dst []byte, h Header, payload []float64) []byte {
+	w := len(payload)
+	if w > MaxWords {
+		panic(fmt.Sprintf("wire: payload of %d words exceeds MaxWords %d", w, MaxWords))
+	}
+	if uint(h.From) > MaxRank || uint(h.To) > MaxRank {
+		panic(fmt.Sprintf("wire: rank %d→%d outside the u16 frame fields", h.From, h.To))
+	}
+	need := FrameLen(w)
+	off := len(dst)
+	if tot := off + need; tot > cap(dst) {
+		grown := make([]byte, off, tot)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[: off+need : cap(dst)]
+	b := dst[off:]
+	put32(b[0:], uint32(bodyOverhead+8*w))
+	put32(b[4:], Magic)
+	put16(b[8:], uint16(h.From))
+	put16(b[10:], uint16(h.To))
+	put64(b[12:], uint64(h.Seq))
+	put64(b[20:], math.Float64bits(h.Arrive))
+	put32(b[28:], uint32(w))
+	p := b[32:]
+	for i, v := range payload {
+		put64(p[8*i:], math.Float64bits(v))
+	}
+	put32(b[len(b)-4:], crc32.Checksum(b[PrefixLen:len(b)-4], castagnoli))
+	return dst
+}
+
+// BodyLen parses the length prefix and validates it against the framing
+// invariants (minimum size, payload cap, word alignment), returning the
+// number of body bytes that follow the prefix. It never reads past
+// PrefixLen bytes.
+func BodyLen(prefix []byte) (int, error) {
+	if len(prefix) < PrefixLen {
+		return 0, fmt.Errorf("%w: %d bytes", ErrShortPrefix, len(prefix))
+	}
+	n := get32(prefix)
+	if n < bodyOverhead {
+		return 0, fmt.Errorf("%w: %d < minimum %d", ErrBadLength, n, bodyOverhead)
+	}
+	if n > bodyOverhead+8*MaxWords {
+		return 0, fmt.Errorf("%w: body of %d bytes", ErrPayloadTooLarge, n)
+	}
+	if (n-bodyOverhead)%8 != 0 {
+		return 0, fmt.Errorf("%w: %d bytes is not header + whole words", ErrBadLength, n)
+	}
+	return int(n), nil
+}
+
+// PayloadWords cross-checks the body's declared word count against its
+// actual length — before any allocation, so a hostile nwords cannot
+// force an oversized buffer.
+func PayloadWords(body []byte) (int, error) {
+	if len(body) < bodyOverhead {
+		return 0, fmt.Errorf("%w: %d bytes", ErrTruncated, len(body))
+	}
+	w := get32(body[24:])
+	if w > MaxWords {
+		return 0, fmt.Errorf("%w: %d words", ErrPayloadTooLarge, w)
+	}
+	if len(body) != bodyOverhead+8*int(w) {
+		return 0, fmt.Errorf("%w: %d words in %d bytes", ErrLengthMismatch, w, len(body))
+	}
+	return int(w), nil
+}
+
+// DecodeBody validates a frame body (magic, sizes, CRC) and decodes its
+// payload into dst, which must be sized by PayloadWords. Nothing is
+// trusted — not even the header fields — until the CRC has passed.
+func DecodeBody(body []byte, dst []float64) (Header, error) {
+	w, err := PayloadWords(body)
+	if err != nil {
+		return Header{}, err
+	}
+	if got := get32(body); got != Magic {
+		return Header{}, fmt.Errorf("%w: %#08x", ErrBadMagic, got)
+	}
+	stored := get32(body[len(body)-4:])
+	if sum := crc32.Checksum(body[:len(body)-4], castagnoli); sum != stored {
+		return Header{}, fmt.Errorf("%w: computed %#08x, stored %#08x", ErrBadCRC, sum, stored)
+	}
+	if len(dst) != w {
+		return Header{}, fmt.Errorf("wire: DecodeBody dst has %d words, frame carries %d", len(dst), w)
+	}
+	h := Header{
+		From:   int(get16(body[4:])),
+		To:     int(get16(body[6:])),
+		Seq:    int64(get64(body[8:])),
+		Arrive: math.Float64frombits(get64(body[16:])),
+	}
+	p := body[28:]
+	for i := range dst {
+		dst[i] = math.Float64frombits(get64(p[8*i:]))
+	}
+	return h, nil
+}

@@ -1,0 +1,186 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// encode builds one standalone frame for the tests.
+func encode(t *testing.T, h Header, payload []float64) []byte {
+	t.Helper()
+	return AppendFrame(nil, h, payload)
+}
+
+func decodeAll(frame []byte) (Header, []float64, error) {
+	n, err := BodyLen(frame[:PrefixLen])
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if n != len(frame)-PrefixLen {
+		return Header{}, nil, errors.New("test: stream length disagrees with prefix")
+	}
+	body := frame[PrefixLen:]
+	w, err := PayloadWords(body)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	dst := make([]float64, w)
+	h, err := DecodeBody(body, dst)
+	return h, dst, err
+}
+
+// TestFrameRoundTrip: header and payload survive encode→decode exactly,
+// including negative seq bits, NaN payload bit patterns, and the empty
+// payload.
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]float64{
+		nil,
+		{0},
+		{1.5, -2.25, math.Inf(1), math.Inf(-1)},
+		{math.Float64frombits(0x7ff8000000000001)}, // NaN with set mantissa bit
+		make([]float64, 129),
+	}
+	for i := range payloads[len(payloads)-1] {
+		payloads[len(payloads)-1][i] = float64(i) * 0.375
+	}
+	for _, pl := range payloads {
+		h := Header{From: 3, To: 65535, Seq: -7, Arrive: 12.625}
+		frame := encode(t, h, pl)
+		if want := FrameLen(len(pl)); len(frame) != want {
+			t.Fatalf("frame of %d words is %d bytes, want %d", len(pl), len(frame), want)
+		}
+		got, dst, err := decodeAll(frame)
+		if err != nil {
+			t.Fatalf("decode %d-word frame: %v", len(pl), err)
+		}
+		if got != h {
+			t.Fatalf("header round trip: got %+v want %+v", got, h)
+		}
+		if len(dst) != len(pl) {
+			t.Fatalf("payload length %d, want %d", len(dst), len(pl))
+		}
+		for i := range pl {
+			if math.Float64bits(dst[i]) != math.Float64bits(pl[i]) {
+				t.Fatalf("payload[%d] bits %x, want %x", i, math.Float64bits(dst[i]), math.Float64bits(pl[i]))
+			}
+		}
+	}
+}
+
+// TestFrameLayout pins the byte-level layout so both endpoints of a
+// heterogeneous deployment agree: any change here is a wire protocol
+// break.
+func TestFrameLayout(t *testing.T) {
+	frame := encode(t, Header{From: 0x0102, To: 0x0304, Seq: 0x1122334455667788, Arrive: 1.0}, []float64{2.0})
+	if len(frame) != 44 {
+		t.Fatalf("1-word frame is %d bytes, want 44", len(frame))
+	}
+	if got := get32(frame); got != 32+8 {
+		t.Errorf("length prefix %d, want 40", got)
+	}
+	if got := get32(frame[4:]); got != Magic {
+		t.Errorf("magic %#x, want %#x", got, uint32(Magic))
+	}
+	if got := get16(frame[8:]); got != 0x0102 {
+		t.Errorf("from %#x, want 0x0102", got)
+	}
+	if got := get16(frame[10:]); got != 0x0304 {
+		t.Errorf("to %#x, want 0x0304", got)
+	}
+	if got := get64(frame[12:]); got != 0x1122334455667788 {
+		t.Errorf("seq %#x", got)
+	}
+	if got := get64(frame[20:]); got != math.Float64bits(1.0) {
+		t.Errorf("arrive bits %#x", got)
+	}
+	if got := get32(frame[28:]); got != 1 {
+		t.Errorf("nwords %d, want 1", got)
+	}
+	if got := get64(frame[32:]); got != math.Float64bits(2.0) {
+		t.Errorf("payload bits %#x", got)
+	}
+}
+
+// TestDecodeErrors drives every validation branch with a purpose-built
+// malformed frame and checks the sentinel error taxonomy.
+func TestDecodeErrors(t *testing.T) {
+	good := encode(t, Header{From: 1, To: 2, Seq: 5, Arrive: 0.5}, []float64{1, 2, 3})
+	body := good[PrefixLen:]
+
+	if _, err := BodyLen([]byte{1, 2}); !errors.Is(err, ErrShortPrefix) {
+		t.Errorf("short prefix: %v", err)
+	}
+	short := make([]byte, PrefixLen)
+	put32(short, 4) // below bodyOverhead
+	if _, err := BodyLen(short); !errors.Is(err, ErrBadLength) {
+		t.Errorf("undersized body length: %v", err)
+	}
+	put32(short, 32+8*MaxWords+8)
+	if _, err := BodyLen(short); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Errorf("oversized body length: %v", err)
+	}
+	put32(short, 32+3) // not word-aligned
+	if _, err := BodyLen(short); !errors.Is(err, ErrBadLength) {
+		t.Errorf("unaligned body length: %v", err)
+	}
+
+	if _, err := PayloadWords(body[:10]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated body: %v", err)
+	}
+	lie := append([]byte(nil), body...)
+	put32(lie[24:], 7) // nwords claims more than the body holds
+	if _, err := PayloadWords(lie); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("nwords mismatch: %v", err)
+	}
+	put32(lie[24:], MaxWords+1)
+	if _, err := PayloadWords(lie); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Errorf("nwords over cap: %v", err)
+	}
+
+	bad := append([]byte(nil), body...)
+	put32(bad, 0xdeadbeef)
+	if _, err := DecodeBody(bad, make([]float64, 3)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+	flip := append([]byte(nil), body...)
+	flip[30] ^= 0x40 // payload bit
+	if _, err := DecodeBody(flip, make([]float64, 3)); !errors.Is(err, ErrBadCRC) {
+		t.Errorf("bit flip: %v", err)
+	}
+	if _, err := DecodeBody(body, make([]float64, 2)); err == nil {
+		t.Error("undersized dst accepted")
+	}
+	if _, err := DecodeBody(body, make([]float64, 3)); err != nil {
+		t.Errorf("pristine body rejected: %v", err)
+	}
+}
+
+// TestAppendFrameSteadyStateAllocs: once the scratch slice has grown to
+// the largest frame, encoding allocates nothing — the property the TCP
+// writer's zero-alloc steady state rests on. Decoding into a fixed
+// buffer is likewise allocation-free.
+func TestAppendFrameSteadyStateAllocs(t *testing.T) {
+	payload := make([]float64, 1000)
+	for i := range payload {
+		payload[i] = float64(i)
+	}
+	var scratch []byte
+	h := Header{From: 1, To: 2, Seq: 9, Arrive: 3.5}
+	scratch = AppendFrame(scratch[:0], h, payload) // warm the scratch
+	body := append([]byte(nil), scratch[PrefixLen:]...)
+	dst := make([]float64, len(payload))
+
+	if n := testing.AllocsPerRun(100, func() {
+		scratch = AppendFrame(scratch[:0], h, payload)
+	}); n != 0 {
+		t.Errorf("AppendFrame steady state allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := DecodeBody(body, dst); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("DecodeBody steady state allocates %.1f/op, want 0", n)
+	}
+}

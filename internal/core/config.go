@@ -133,6 +133,32 @@ func DefaultFaultSpec() string {
 }
 
 var (
+	transportOnce    sync.Once
+	defaultTransport string
+	defaultRank      = -1
+	defaultPeers     string
+)
+
+// DefaultTransport returns the wire-transport defaults requested by the
+// SASGD_TRANSPORT ("chan" or "tcp"), SASGD_RANK and SASGD_PEERS
+// environment variables: the backend name, the single rank this
+// process hosts (-1 = all ranks, TCP loopback), and the comma-separated
+// rank→address list. Empty/unset leaves each command flag's zero value
+// in charge, mirroring the -trace/SASGD_TRACE precedence.
+func DefaultTransport() (transport string, rank int, peers string) {
+	transportOnce.Do(func() {
+		defaultTransport = os.Getenv("SASGD_TRANSPORT")
+		if s := os.Getenv("SASGD_RANK"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v >= 0 {
+				defaultRank = v
+			}
+		}
+		defaultPeers = os.Getenv("SASGD_PEERS")
+	})
+	return defaultTransport, defaultRank, defaultPeers
+}
+
+var (
 	metricsOnce    sync.Once
 	defaultMetrics bool
 )
@@ -449,6 +475,29 @@ type Config struct {
 	// requiring Learners == the checkpoint's OrigP.
 	ResumeRanks []int
 
+	// Transport, when non-nil, carries the run's point-to-point frames
+	// instead of the default in-process channel fabric:
+	// comm.NewTCPLoopback for socket-backed single-process runs, or a
+	// comm.NewTCPTransport mesh endpoint for genuinely multi-process
+	// training (see LocalRanks). Its Size must equal Learners. SASGD
+	// collective paths only. Train leaves closing the transport to the
+	// caller, with one exception: a fault-injected (resilient) run's
+	// membership layer closes its mesh on exit, since re-formed views
+	// share it. Transport Close is idempotent either way.
+	Transport comm.Transport
+
+	// LocalRanks names the learner ranks THIS process drives (strictly
+	// ascending), for multi-process training over a partial Transport
+	// mesh: every process runs the same Config apart from LocalRanks,
+	// hosts only its own learners, and the collectives meet on the
+	// wire. Nil (the default) drives all of them in-process. Requires
+	// Transport; composes with neither the simulator (per-rank clocks
+	// are shared memory) nor fault injection/checkpoint-resume (the
+	// membership ledger is in-process). The accuracy curve and
+	// FinalParams are recorded by rank 0, so only the process hosting
+	// rank 0 reports them.
+	LocalRanks []int
+
 	// AggHook, when non-nil, is called by virtual rank 0 synchronously
 	// after each dense aggregation allreduce with the boundary index and
 	// the post-allreduce aggregated gradient (before γp is applied). The
@@ -546,6 +595,29 @@ func (c Config) withDefaults() Config {
 	}
 	if (c.Faults != nil || c.ResumeFrom != "") && c.Algo != AlgoSASGD && c.Algo != "" {
 		panic(fmt.Sprintf("core: fault injection and checkpoint resume support SASGD only, got algo %q", c.Algo))
+	}
+	if c.Transport != nil {
+		if c.Algo != AlgoSASGD && c.Algo != "" {
+			panic(fmt.Sprintf("core: an explicit wire transport supports SASGD only, got algo %q", c.Algo))
+		}
+		if n := c.Transport.Size(); n != c.Learners {
+			panic(fmt.Sprintf("core: transport spans %d ranks, run has %d learners", n, c.Learners))
+		}
+	}
+	if len(c.LocalRanks) > 0 {
+		if c.Transport == nil {
+			panic("core: LocalRanks needs an explicit Transport (the omitted ranks live in other processes)")
+		}
+		if c.Sim != nil || c.Faults != nil || c.ResumeFrom != "" || c.CheckpointPath != "" {
+			panic("core: LocalRanks composes with neither the fabric simulator nor fault injection/checkpointing (both keep per-rank state in process memory)")
+		}
+		prev := -1
+		for _, r := range c.LocalRanks {
+			if r <= prev || r >= c.Learners {
+				panic(fmt.Sprintf("core: LocalRanks %v must be strictly ascending ranks below Learners %d", c.LocalRanks, c.Learners))
+			}
+			prev = r
+		}
 	}
 	// Communication-schedule knobs: env defaults, then validation.
 	envT, envG, envD := DefaultSched()

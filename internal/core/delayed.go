@@ -52,12 +52,7 @@ func trainSASGDScheduled(cfg Config, prob *Problem) *Result {
 	shards := prob.Train.Partition(p)
 	bpe := batchesPerEpoch(shards, cfg.Batch)
 
-	var group *comm.Group
-	if cfg.Sim != nil {
-		group = comm.NewSimGroup(p, cfg.Sim.Clocks(), cfg.Sim.CostModel())
-	} else {
-		group = comm.NewGroup(p)
-	}
+	group := newTrainGroup(cfg, p)
 	group.SetTracer(cfg.Tracer)
 	cfg.Tracer.SetStats(func() interface{} { return group.Stats() })
 	if cfg.Sim != nil && cfg.HierGroups < 2 {
@@ -78,7 +73,7 @@ func trainSASGDScheduled(cfg Config, prob *Problem) *Result {
 	var finalRatio float64
 	var finalT int
 
-	runLearners(p, func(rank int) {
+	runLearnersOn(cfg.localRanks(p), func(rank int) {
 		net := prob.newReplica(cfg.Seed + int64(rank))
 		m := net.NumParams()
 		params := net.ParamData()

@@ -94,7 +94,14 @@ func trainSASGDResilient(cfg Config, prob *Problem) *Result {
 		clocks = cfg.Sim.Clocks()
 		cost = cfg.Sim.CostModel()
 	}
-	res := comm.NewResilient(p, plan, clocks, cost, cfg.Tracer)
+	var res *comm.Resilient
+	if cfg.Transport != nil {
+		// The same wire mesh carries every membership view (initial and
+		// survivor re-forms); NewResilientOver insists it is all-local.
+		res = comm.NewResilientOver(cfg.Transport, plan, clocks, cost, cfg.Tracer)
+	} else {
+		res = comm.NewResilient(p, plan, clocks, cost, cfg.Tracer)
+	}
 	cfg.Tracer.SetStats(func() interface{} { return res.Stats() })
 	rec := newRecorder(prob)
 	fleet := newFleet(cfg, p)

@@ -29,12 +29,7 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 	shards := prob.Train.Partition(p)
 	bpe := batchesPerEpoch(shards, cfg.Batch)
 
-	var group *comm.Group
-	if cfg.Sim != nil {
-		group = comm.NewSimGroup(p, cfg.Sim.Clocks(), cfg.Sim.CostModel())
-	} else {
-		group = comm.NewGroup(p)
-	}
+	group := newTrainGroup(cfg, p)
 	// Attach the tracer before the learner goroutines start: comm workers
 	// pick up their trace tracks at creation, and the tracer's live stats
 	// source serves the group's counters to the debug endpoint.
@@ -46,7 +41,7 @@ func trainSASGD(cfg Config, prob *Problem) *Result {
 	var finalParams []float64
 	var finalRatio float64
 
-	runLearners(p, func(rank int) {
+	runLearnersOn(cfg.localRanks(p), func(rank int) {
 		net := prob.newReplica(cfg.Seed + int64(rank))
 		m := net.NumParams()
 		params := net.ParamData()

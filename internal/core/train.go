@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sasgd/internal/comm"
 	"sasgd/internal/data"
 	"sasgd/internal/parallel"
 	"sasgd/internal/tensor"
@@ -71,25 +72,67 @@ func Train(cfg Config, prob *Problem) *Result {
 
 // workersPerLearner resolves cfg.Workers: an explicit value wins;
 // otherwise the current process-wide budget is split evenly across the
-// learners, never below 1.
+// learners this process actually hosts, never below 1.
 func workersPerLearner(cfg Config) int {
 	if cfg.Workers > 0 {
 		return cfg.Workers
 	}
-	w := parallel.Workers() / cfg.Learners
+	n := cfg.Learners
+	if len(cfg.LocalRanks) > 0 {
+		n = len(cfg.LocalRanks)
+	}
+	w := parallel.Workers() / n
 	if w < 1 {
 		w = 1
 	}
 	return w
 }
 
-// runLearners starts p learner goroutines and waits for all of them. A
-// panic in any learner is rethrown on the caller's goroutine with the
-// learner's rank attached.
+// newTrainGroup builds the comm group for a SASGD-family run: over the
+// caller's wire transport when one is configured, else the in-process
+// fabric (simulated when cfg.Sim is attached). The simulator's clocks
+// require an all-local transport; comm.NewTransportGroup enforces that.
+func newTrainGroup(cfg Config, p int) *comm.Group {
+	var clocks []comm.Clock
+	var cost comm.CostModel
+	if cfg.Sim != nil {
+		clocks, cost = cfg.Sim.Clocks(), cfg.Sim.CostModel()
+	}
+	if cfg.Transport != nil {
+		return comm.NewTransportGroup(cfg.Transport, nil, clocks, cost)
+	}
+	return comm.NewSimGroup(p, clocks, cost)
+}
+
+// localRanks returns the learner ranks this process drives: LocalRanks
+// when a multi-process run set it, else all p of them.
+func (c Config) localRanks(p int) []int {
+	if len(c.LocalRanks) > 0 {
+		return c.LocalRanks
+	}
+	all := make([]int, p)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// runLearners starts p learner goroutines and waits for all of them.
 func runLearners(p int, fn func(rank int)) {
+	all := make([]int, p)
+	for i := range all {
+		all[i] = i
+	}
+	runLearnersOn(all, fn)
+}
+
+// runLearnersOn starts one learner goroutine per rank in ranks and
+// waits for all of them. A panic in any learner is rethrown on the
+// caller's goroutine with the learner's rank attached.
+func runLearnersOn(ranks []int, fn func(rank int)) {
 	var wg sync.WaitGroup
-	panics := make(chan interface{}, p)
-	for rank := 0; rank < p; rank++ {
+	panics := make(chan interface{}, len(ranks))
+	for _, rank := range ranks {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()

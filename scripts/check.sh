@@ -52,6 +52,16 @@ echo "==> go test -race -count=2 comm-schedule layer"
 go test -race -count=2 -run 'Hier|DeferSync' ./internal/comm/
 go test -race -count=2 -run 'Sched|Delayed|Decay|AdaptiveT|ChaosHier' ./internal/core/
 
+# The wire-transport cut is the newest schedule-sensitive surface: per
+# connection-endpoint writer/reader goroutines, pooled frame buffers
+# crossing the socket boundary, idempotent group/transport teardown
+# racing in-flight sends, and the cross-transport equivalence matrix
+# that pins channel and TCP-loopback backends bitwise identical. Run
+# those legs twice under the race detector at both layers.
+echo "==> go test -race -count=2 wire transport (channel vs TCP loopback)"
+go test -race -count=2 -run 'CrossTransport|GroupClose|TCP|Wire|MultiProcess' ./internal/comm/
+go test -race -count=2 -run 'TrainTCP|MultiEndpoint' ./internal/core/
+
 # The tracing subsystem's whole design is lock-free concurrent recording
 # (per-track ring buffers, atomic counters), so give its concurrency
 # tests the same extra race-detector rounds.
@@ -77,6 +87,8 @@ go test -race -count=2 ./internal/chaos/
 echo "==> go fuzz smoke (10s per target)"
 go test -fuzz 'FuzzAllreduceEquivalence' -fuzztime 10s -run 'Fuzz' ./internal/comm/
 go test -fuzz 'FuzzPlanBuckets' -fuzztime 10s -run 'Fuzz' ./internal/core/
+go test -fuzz 'FuzzFrameDecode' -fuzztime 10s -run 'Fuzz' ./internal/comm/wire/
+go test -fuzz 'FuzzFrameRoundTrip' -fuzztime 10s -run 'Fuzz' ./internal/comm/wire/
 
 # The packed GEMM engine's whole contract is bitwise-identical results
 # at any worker count (plus fused-epilogue equivalence to the unfused
@@ -96,6 +108,8 @@ go test -race -count=2 -run 'Aligned' ./internal/parallel/
 # must run allocation-free off the pooled pack scratch.
 echo "==> go test bucketed + hier zero-alloc pins"
 go test -run 'SteadyStateAllocs' ./internal/comm/
+echo "==> go test wire-codec zero-alloc pin"
+go test -run 'SteadyStateAllocs' ./internal/comm/wire/
 echo "==> go test obs disabled-path zero-alloc pin"
 go test -run 'NilTrackIsSafeAndFree|EnabledRecordIsAllocFree' ./internal/obs/
 echo "==> go test metrics disabled-path zero-alloc pin"
